@@ -1,0 +1,101 @@
+// Ablation of Section 5.2: TDC bin non-linearity (DNL) and its two
+// mitigations — the single-clock-region placement constraint and k = 4
+// down-sampling.
+//
+// Reports, per configuration: bin-width statistics (min/mean/max, DNL rms
+// and peak) from the elaborated timing, plus a code-density measurement
+// (edge-position histogram under free-running sampling) as the empirical
+// cross-check — the same methodology as Menninga et al. [6].
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/extractor.hpp"
+#include "fpga/fabric.hpp"
+#include "model/nonlinearity.hpp"
+#include "sim/sampler.hpp"
+
+namespace {
+
+using namespace trng;
+
+void report(const char* label, const fpga::Fabric& fabric, int base_row,
+            int k, std::size_t captures) {
+  const auto floorplan =
+      fpga::TrngFloorplan::canonical(fabric.geometry(), 3, 36, 0, base_row);
+  const auto elaborated = fabric.elaborate(floorplan, k);
+  const bool single_region =
+      floorplan.single_clock_region(fabric.geometry());
+
+  // Structural DNL from elaborated timing (line 0).
+  const auto dnl = model::analyze_dnl(elaborated.lines[0], k);
+
+  // Code-density: distribution of decoded first-edge positions while
+  // free-running (phase sweeps uniformly): wider bins catch more edges.
+  sim::SampleController sampler(elaborated, fabric.spec().flip_flop,
+                                sim::NoiseConfig{}, 31,
+                                sim::SamplingMode::kFreeRunning);
+  core::EntropyExtractor extractor(36, k);
+  std::vector<std::size_t> hist(static_cast<std::size_t>(36 / k), 0);
+  std::size_t decoded = 0;
+  for (std::size_t i = 0; i < captures; ++i) {
+    const auto cap = sampler.next_capture(1);
+    const auto r = extractor.extract(cap.lines);
+    if (r.edge_found) {
+      const auto bin = static_cast<std::size_t>(r.edge_position / k);
+      if (bin < hist.size()) {
+        ++hist[bin];
+        ++decoded;
+      }
+    }
+  }
+  // Empirical DNL over the first ~d0/t_step positions (deeper bins see
+  // only double-edge leftovers).
+  const std::size_t usable = static_cast<std::size_t>(26 / k);
+  double mean = 0.0;
+  for (std::size_t b = 0; b < usable; ++b) {
+    mean += static_cast<double>(hist[b]);
+  }
+  mean /= static_cast<double>(usable);
+  double peak = 0.0;
+  for (std::size_t b = 0; b < usable; ++b) {
+    const double rel = (static_cast<double>(hist[b]) - mean) / mean;
+    peak = std::max(peak, std::abs(rel));
+  }
+
+  std::printf("%-34s %-7s %5.1f/%5.1f/%5.1f  %6.3f  %6.3f   %6.3f\n", label,
+              single_region ? "yes" : "no", dnl.min_bin_ps, dnl.mean_bin_ps,
+              dnl.max_bin_ps, dnl.dnl_rms, dnl.dnl_peak, peak);
+  (void)decoded;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t captures = bench::env_size("TRNG_BENCH_BITS", 60000);
+  bench::print_header(
+      "Section 5.2 ablation: TDC non-linearity vs placement and k");
+
+  std::printf("%-34s %-7s %-17s %-7s %-8s %s\n", "configuration", "1-region",
+              "bin min/mean/max", "DNLrms", "DNLpeak", "code-density peak");
+  bench::print_rule(96);
+
+  fpga::Fabric fabric(fpga::DeviceGeometry{}, 42);
+  // Paper placement: rows 17..25, single clock region.
+  report("k=1, single clock region", fabric, 17, 1, captures);
+  // Bad placement: rows 12..20 straddle the region-0/1 boundary.
+  report("k=1, crossing region boundary", fabric, 12, 1, captures);
+  // Down-sampling fixes structural DNL (Section 5.2).
+  report("k=4, single clock region", fabric, 17, 4, captures);
+  report("k=4, crossing region boundary", fabric, 12, 4, captures);
+  // Reference: an ideal die has no DNL at all.
+  fpga::Fabric ideal(fpga::DeviceGeometry{}, 1, fpga::ideal_fabric_spec());
+  report("k=1, ideal fabric (reference)", ideal, 17, 1, captures);
+
+  bench::print_rule(96);
+  std::printf(
+      "expected shape (paper + Menninga [6]): crossing a clock region adds\n"
+      "a large skew step into one bin (DNL peak up); k = 4 merges the\n"
+      "unequal CARRY4 taps into near-uniform 4-tap bins (DNL down).\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Shared helpers for the reproduction benches: consistent table rendering
+// and environment-variable size knobs so `--quick` CI runs and full
+// paper-scale runs share one binary.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace trng::bench {
+
+/// Reads a size knob from the environment (e.g. TRNG_BENCH_BITS); returns
+/// `fallback` when unset or unparsable.
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || parsed == 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace trng::bench

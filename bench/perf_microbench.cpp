@@ -1,0 +1,128 @@
+// google-benchmark microbenchmarks of the library's hot paths: the
+// simulation inner loops, the extractor, post-processing and the
+// statistical tests. These guard the practicality of the harness (Table 1
+// regeneration runs millions of captures).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/elementary.hpp"
+#include "core/extractor.hpp"
+#include "core/trng.hpp"
+#include "model/stochastic_model.hpp"
+#include "stattests/sp800_22.hpp"
+
+namespace {
+
+using namespace trng;
+
+void BM_Xoshiro(benchmark::State& state) {
+  common::Xoshiro256StarStar rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_GaussianDraw(benchmark::State& state) {
+  common::Xoshiro256StarStar rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_gaussian());
+}
+BENCHMARK(BM_GaussianDraw);
+
+void BM_TrngRawBit(benchmark::State& state) {
+  fpga::Fabric fabric(fpga::DeviceGeometry{}, 42);
+  core::DesignParams p;
+  p.accumulation_cycles = static_cast<Cycles>(state.range(0));
+  core::CarryChainTrng trng(fabric, p, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(trng.next_raw_bit());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrngRawBit)->Arg(1)->Arg(5)->Arg(20);
+
+void BM_ElementaryAnalyticBit(benchmark::State& state) {
+  core::ElementaryTrng trng(480.0, 2.0, 800, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(trng.next_bit());
+}
+BENCHMARK(BM_ElementaryAnalyticBit);
+
+void BM_ExtractorDecode(benchmark::State& state) {
+  core::EntropyExtractor ex(36, 1);
+  std::vector<sim::LineSnapshot> lines(3, sim::LineSnapshot(36, false));
+  for (int j = 0; j < 14; ++j) lines[1][static_cast<std::size_t>(j)] = true;
+  for (auto _ : state) benchmark::DoNotOptimize(ex.extract(lines));
+}
+BENCHMARK(BM_ExtractorDecode);
+
+void BM_ModelPOne(benchmark::State& state) {
+  model::StochasticModel m{core::PlatformParams{}};
+  double tau = 0.0;
+  for (auto _ : state) {
+    tau += 0.1;
+    if (tau > 8.0) tau = 0.0;
+    benchmark::DoNotOptimize(m.p_one(tau, 9.13, 1));
+  }
+}
+BENCHMARK(BM_ModelPOne);
+
+void BM_ModelPOneFolded(benchmark::State& state) {
+  model::StochasticModel m{core::PlatformParams{}};
+  double tau = 0.0;
+  for (auto _ : state) {
+    tau += 0.1;
+    if (tau > 400.0) tau = 0.0;
+    benchmark::DoNotOptimize(m.p_one_folded(tau, 28.9, 4));
+  }
+}
+BENCHMARK(BM_ModelPOneFolded);
+
+const common::BitStream& bench_bits() {
+  static const common::BitStream bits = [] {
+    common::Xoshiro256StarStar rng(99);
+    common::BitStream b;
+    for (int w = 0; w < 1 << 14; ++w) b.append_bits(rng.next(), 64);
+    return b;  // 2^20 bits
+  }();
+  return bits;
+}
+
+void BM_NistFrequency(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(stat::frequency_test(bench_bits()));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bench_bits().size()));
+}
+BENCHMARK(BM_NistFrequency);
+
+void BM_NistRuns(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(stat::runs_test(bench_bits()));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bench_bits().size()));
+}
+BENCHMARK(BM_NistRuns);
+
+void BM_NistDft(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(stat::dft_test(bench_bits()));
+}
+BENCHMARK(BM_NistDft);
+
+void BM_NistSerial(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(stat::serial_test(bench_bits()));
+}
+BENCHMARK(BM_NistSerial);
+
+void BM_BerlekampMassey500(benchmark::State& state) {
+  std::vector<bool> block;
+  common::Xoshiro256StarStar rng(5);
+  for (int i = 0; i < 500; ++i) block.push_back(rng.next() & 1);
+  for (auto _ : state) benchmark::DoNotOptimize(stat::berlekamp_massey(block));
+}
+BENCHMARK(BM_BerlekampMassey500);
+
+void BM_XorFold(benchmark::State& state) {
+  const auto& bits = bench_bits();
+  for (auto _ : state) benchmark::DoNotOptimize(bits.xor_fold(7));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bits.size()));
+}
+BENCHMARK(BM_XorFold);
+
+}  // namespace
+
+BENCHMARK_MAIN();

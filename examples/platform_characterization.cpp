@@ -1,0 +1,66 @@
+// Platform characterization deep-dive: every measurement of Section 5.1,
+// the measurement pitfalls the paper warns about, and the DNL analysis
+// behind the Section 5.2 design decisions.
+//
+//   build/examples/platform_characterization
+#include <cstdio>
+
+#include "model/nonlinearity.hpp"
+#include "model/platform_measurement.hpp"
+#include "model/stochastic_model.hpp"
+
+int main() {
+  using namespace trng;
+  fpga::Fabric fabric(fpga::DeviceGeometry{}, /*die_seed=*/123);
+  model::PlatformMeasurement pm(fabric, 9);
+
+  std::printf("== LUT delay (transition counting) ==\n");
+  for (int stages : {3, 5, 7}) {
+    std::printf("  %d-stage test oscillator: d0 = %.1f ps\n", stages,
+                pm.measure_lut_delay(stages));
+  }
+
+  std::printf("\n== TDC bin width (taps per half-period) ==\n");
+  for (int carry4s : {24, 32, 48}) {
+    std::printf("  %2d-CARRY4 chain: t_step = %.2f ps\n", carry4s,
+                pm.measure_t_step(carry4s));
+  }
+
+  std::printf("\n== thermal jitter (differential dual-oscillator) ==\n");
+  std::printf("  paper guidance: keep the window short or flicker "
+              "dominates\n");
+  for (double window_ps : {20.0e3, 100.0e3, 1.0e6}) {
+    std::printf("  window %7.2f us: sigma_LUT = %.2f ps%s\n",
+                window_ps / 1.0e6, pm.measure_jitter_sigma(600, window_ps),
+                window_ps >= 1.0e6 ? "   <- flicker-inflated" : "");
+  }
+
+  std::printf("\n== TDC non-linearity (per-line DNL) ==\n");
+  const auto floorplan =
+      fpga::TrngFloorplan::canonical(fabric.geometry(), 3, 36, 0, 17);
+  const auto elaborated = fabric.elaborate(floorplan);
+  for (std::size_t line = 0; line < elaborated.lines.size(); ++line) {
+    for (int k : {1, 4}) {
+      const auto dnl = model::analyze_dnl(elaborated.lines[line], k);
+      std::printf("  line %zu, k=%d: bins %.1f/%.1f/%.1f ps "
+                  "(min/mean/max), DNL rms %.3f peak %.3f\n",
+                  line, k, dnl.min_bin_ps, dnl.mean_bin_ps, dnl.max_bin_ps,
+                  dnl.dnl_rms, dnl.dnl_peak);
+    }
+  }
+
+  std::printf("\n== entropy bounds for this die (tA = 20 ns, k = 1) ==\n");
+  const auto platform = pm.measure_all();
+  model::StochasticModel m(platform);
+  std::printf("  Eq. 3 (equidistant bins):  %.4f\n",
+              m.entropy_lower_bound(20000.0, 1));
+  std::printf("  folded (wrap-aware):       %.4f\n",
+              m.folded_entropy_lower_bound(20000.0, 1));
+  std::printf("  DNL-aware (worst bin):     %.4f\n",
+              model::dnl_aware_entropy_bound(
+                  m, elaborated, 20000.0, 1,
+                  3.0 * fabric.spec().flip_flop.static_offset_sigma_ps));
+  std::printf("\n(the DNL-aware bound is the one to budget post-processing\n"
+              "against on real fabric — see DESIGN.md / EXPERIMENTS.md)\n");
+  return 0;
+}

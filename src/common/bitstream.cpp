@@ -1,0 +1,122 @@
+#include "common/bitstream.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace trng::common {
+
+BitStream BitStream::from_string(const std::string& bits) {
+  BitStream bs;
+  bs.reserve(bits.size());
+  for (char c : bits) {
+    if (c == '0') {
+      bs.push_back(false);
+    } else if (c == '1') {
+      bs.push_back(true);
+    } else {
+      throw std::invalid_argument(
+          "BitStream::from_string: expected only '0'/'1'");
+    }
+  }
+  return bs;
+}
+
+BitStream BitStream::from_words(const std::vector<std::uint64_t>& words,
+                                unsigned bits_per_word) {
+  if (bits_per_word == 0 || bits_per_word > 64) {
+    throw std::invalid_argument(
+        "BitStream::from_words: bits_per_word must be in [1, 64]");
+  }
+  BitStream bs;
+  bs.reserve(words.size() * bits_per_word);
+  for (std::uint64_t w : words) bs.append_bits(w, bits_per_word);
+  return bs;
+}
+
+void BitStream::push_back(bool bit) {
+  const std::size_t word = size_ >> 6;
+  if (word == words_.size()) words_.push_back(0);
+  if (bit) words_[word] |= 1ULL << (size_ & 63);
+  ++size_;
+}
+
+void BitStream::append_bits(std::uint64_t value, unsigned count) {
+  if (count > 64) {
+    throw std::invalid_argument("BitStream::append_bits: count > 64");
+  }
+  for (unsigned i = 0; i < count; ++i) push_back((value >> i) & 1ULL);
+}
+
+void BitStream::append(const BitStream& other) {
+  // Fast path when this stream is word-aligned.
+  if ((size_ & 63) == 0) {
+    words_.insert(words_.end(), other.words_.begin(), other.words_.end());
+    size_ += other.size_;
+    return;
+  }
+  for (std::size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+}
+
+bool BitStream::at(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("BitStream::at: index out of range");
+  return (*this)[i];
+}
+
+void BitStream::clear() {
+  words_.clear();
+  size_ = 0;
+}
+
+void BitStream::reserve(std::size_t bits) { words_.reserve((bits + 63) / 64); }
+
+std::size_t BitStream::count_ones() const {
+  std::size_t ones = 0;
+  for (std::uint64_t w : words_) ones += static_cast<std::size_t>(std::popcount(w));
+  return ones;
+}
+
+BitStream BitStream::slice(std::size_t begin, std::size_t length) const {
+  if (begin + length > size_) {
+    throw std::out_of_range("BitStream::slice: range out of bounds");
+  }
+  BitStream out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) out.push_back((*this)[begin + i]);
+  return out;
+}
+
+BitStream BitStream::xor_fold(unsigned np) const {
+  if (np == 0) {
+    throw std::invalid_argument("BitStream::xor_fold: np must be >= 1");
+  }
+  BitStream out;
+  out.reserve(size_ / np);
+  std::size_t i = 0;
+  while (i + np <= size_) {
+    bool acc = false;
+    for (unsigned j = 0; j < np; ++j) acc ^= (*this)[i + j];
+    out.push_back(acc);
+    i += np;
+  }
+  return out;
+}
+
+double BitStream::ones_fraction() const {
+  if (size_ == 0) {
+    throw std::logic_error("BitStream::ones_fraction: empty stream");
+  }
+  return static_cast<double>(count_ones()) / static_cast<double>(size_);
+}
+
+std::string BitStream::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back((*this)[i] ? '1' : '0');
+  return s;
+}
+
+bool BitStream::operator==(const BitStream& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+}  // namespace trng::common

@@ -1,0 +1,76 @@
+// Packed bit container for generated random sequences.
+//
+// Every TRNG in the repository emits its output into a BitStream; the
+// statistical battery, post-processors and entropy estimators all consume
+// BitStreams. Bits are stored LSB-first within 64-bit words.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trng::common {
+
+class BitStream {
+ public:
+  BitStream() = default;
+
+  /// Constructs from a string of '0'/'1' characters (test convenience).
+  /// Throws std::invalid_argument on any other character.
+  static BitStream from_string(const std::string& bits);
+
+  /// Constructs from the low `bits_per_word` bits of each value.
+  static BitStream from_words(const std::vector<std::uint64_t>& words,
+                              unsigned bits_per_word);
+
+  void push_back(bool bit);
+
+  /// Appends the low `count` bits of `value`, LSB first.
+  void append_bits(std::uint64_t value, unsigned count);
+
+  void append(const BitStream& other);
+
+  /// Reads bit `i`; bounds-checked, throws std::out_of_range.
+  bool at(std::size_t i) const;
+
+  /// Reads bit `i` without bounds checking (hot paths; callers are expected
+  /// to have validated the index).
+  bool operator[](std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear();
+  void reserve(std::size_t bits);
+
+  /// Number of one-bits in the whole stream (hardware-popcount per word).
+  std::size_t count_ones() const;
+
+  /// Returns the sub-stream [begin, begin+length). Throws std::out_of_range
+  /// if the range does not fit.
+  BitStream slice(std::size_t begin, std::size_t length) const;
+
+  /// XOR-compresses the stream by folding each group of `np` consecutive
+  /// bits into one (the paper's Section 4.5 post-processing). A trailing
+  /// partial group is dropped. np must be >= 1.
+  BitStream xor_fold(unsigned np) const;
+
+  /// Fraction of ones, in [0, 1]. Throws std::logic_error when empty.
+  double ones_fraction() const;
+
+  /// '0'/'1' textual rendering (tests and debugging; O(n) allocation).
+  std::string to_string() const;
+
+  bool operator==(const BitStream& other) const;
+
+  /// Raw word storage, LSB-first; the tail word's unused high bits are zero.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace trng::common

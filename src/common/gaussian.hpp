@@ -1,0 +1,23 @@
+// Gaussian distribution helpers used by the stochastic model (Eq. 3-4 of the
+// paper) and by the statistical tests.
+#pragma once
+
+namespace trng::common {
+
+/// Standard normal probability density function.
+double normal_pdf(double x);
+
+/// Standard normal cumulative distribution Phi(x) = P[N(0,1) <= x].
+/// This is Eq. 4 of the paper; implemented via erfc for full double accuracy
+/// in both tails.
+double normal_cdf(double x);
+
+/// Complement 1 - Phi(x), accurate for large positive x (no cancellation).
+double normal_sf(double x);
+
+/// Inverse of normal_cdf. Acklam's rational approximation refined by one
+/// Halley step; relative error below 1e-13 over (0, 1).
+/// Throws std::domain_error for p outside (0, 1).
+double normal_quantile(double p);
+
+}  // namespace trng::common

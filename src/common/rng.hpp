@@ -1,0 +1,98 @@
+// Deterministic simulation PRNGs.
+//
+// All randomness used to *simulate* physical noise flows from these
+// generators, so every experiment in the repository is reproducible
+// bit-for-bit from its seed. (The TRNG under test produces randomness from
+// the simulated physics; these PRNGs are the physics substrate, not the
+// product.)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace trng::common {
+
+/// SplitMix64: tiny, high-quality 64-bit generator. Used to expand a single
+/// user seed into independent stream seeds (the standard xoshiro seeding
+/// recipe) and as a cheap standalone generator in tests.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, passes BigCrush, 2^256-1
+/// period. Satisfies std::uniform_random_bit_generator so it plugs into
+/// <random> distributions where convenient.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state via SplitMix64 so that nearby seeds give
+  /// unrelated streams.
+  explicit Xoshiro256StarStar(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1) — never returns exactly 0, safe for log().
+  double next_double_open() {
+    // 2^-54 offset keeps the value strictly inside the unit interval.
+    return (static_cast<double>(next() >> 11) + 0.5) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Standard normal deviate (Marsaglia polar method with caching).
+  double next_gaussian();
+
+  /// Jump function: advances the stream by 2^128 steps. Calling jump() k
+  /// times on copies yields k non-overlapping parallel substreams.
+  void jump();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace trng::common

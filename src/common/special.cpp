@@ -1,0 +1,107 @@
+#include "common/special.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace trng::common {
+
+namespace {
+
+constexpr double kMachEps = std::numeric_limits<double>::epsilon();
+constexpr double kBig = 4.503599627370496e15;
+constexpr double kBigInv = 2.22044604925031308085e-16;
+
+/// Series expansion for P(a, x), converges fast for x < a + 1.
+double igam_series(double a, double x) {
+  double ax = a * std::log(x) - x - std::lgamma(a);
+  if (ax < -709.78) return 0.0;  // underflow of exp
+  ax = std::exp(ax);
+
+  double r = a;
+  double c = 1.0;
+  double ans = 1.0;
+  do {
+    r += 1.0;
+    c *= x / r;
+    ans += c;
+  } while (c / ans > kMachEps);
+  return ans * ax / a;
+}
+
+/// Continued fraction for Q(a, x), converges fast for x >= a + 1.
+double igamc_cfrac(double a, double x) {
+  double ax = a * std::log(x) - x - std::lgamma(a);
+  if (ax < -709.78) return 0.0;
+  ax = std::exp(ax);
+
+  double y = 1.0 - a;
+  double z = x + y + 1.0;
+  double c = 0.0;
+  double pkm2 = 1.0;
+  double qkm2 = x;
+  double pkm1 = x + 1.0;
+  double qkm1 = z * x;
+  double ans = pkm1 / qkm1;
+  double t;
+  do {
+    c += 1.0;
+    y += 1.0;
+    z += 2.0;
+    const double yc = y * c;
+    const double pk = pkm1 * z - pkm2 * yc;
+    const double qk = qkm1 * z - qkm2 * yc;
+    if (qk != 0.0) {
+      const double r = pk / qk;
+      t = std::fabs((ans - r) / r);
+      ans = r;
+    } else {
+      t = 1.0;
+    }
+    pkm2 = pkm1;
+    pkm1 = pk;
+    qkm2 = qkm1;
+    qkm1 = qk;
+    if (std::fabs(pk) > kBig) {
+      pkm2 *= kBigInv;
+      pkm1 *= kBigInv;
+      qkm2 *= kBigInv;
+      qkm1 *= kBigInv;
+    }
+  } while (t > kMachEps);
+  return ans * ax;
+}
+
+}  // namespace
+
+double igam(double a, double x) {
+  if (a <= 0.0 || x < 0.0) {
+    throw std::domain_error("igam: requires a > 0 and x >= 0");
+  }
+  if (x == 0.0) return 0.0;
+  if (x > 1.0 && x > a) return 1.0 - igamc_cfrac(a, x);
+  return igam_series(a, x);
+}
+
+double igamc(double a, double x) {
+  if (a <= 0.0 || x < 0.0) {
+    throw std::domain_error("igamc: requires a > 0 and x >= 0");
+  }
+  if (x == 0.0) return 1.0;
+  if (x < 1.0 || x < a) return 1.0 - igam_series(a, x);
+  return igamc_cfrac(a, x);
+}
+
+double chi_square_sf(double x, double df) {
+  if (x < 0.0) return 1.0;
+  return igamc(df / 2.0, x / 2.0);
+}
+
+double log_binomial(unsigned n, unsigned k) {
+  if (k > n) throw std::domain_error("log_binomial: k > n");
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+}  // namespace trng::common

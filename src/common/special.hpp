@@ -1,0 +1,23 @@
+// Special functions needed by the statistical test suite (chi-square and
+// gamma tail probabilities behind the NIST SP 800-22 p-values).
+#pragma once
+
+namespace trng::common {
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a, x) / Gamma(a).
+/// Requires a > 0, x >= 0.
+double igam(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = Gamma(a, x) / Gamma(a).
+/// This is NIST's `igamc`; p-values of chi-square statistics are
+/// Q(df/2, chi2/2). Requires a > 0, x >= 0.
+double igamc(double a, double x);
+
+/// Survival function of the chi-square distribution with `df` degrees of
+/// freedom: P[X >= x].
+double chi_square_sf(double x, double df);
+
+/// Natural log of the binomial coefficient C(n, k).
+double log_binomial(unsigned n, unsigned k);
+
+}  // namespace trng::common

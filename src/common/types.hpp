@@ -1,0 +1,34 @@
+// Fundamental types and physical constants shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace trng {
+
+/// Physical time in picoseconds. All timing-level simulation (stage delays,
+/// jitter, TDC bins) is carried in double-precision picoseconds: one LSB of a
+/// double near 10^5 ps is ~1.5e-11 ps, ten orders of magnitude below any
+/// physical effect modelled here.
+using Picoseconds = double;
+
+/// Count of system-clock cycles (100 MHz platform clock in the paper).
+using Cycles = std::uint64_t;
+
+namespace constants {
+
+/// Platform clock frequency used throughout the paper (Spartan-6 board).
+inline constexpr double kSystemClockHz = 100.0e6;
+
+/// Platform clock period: 10 ns = 10000 ps.
+inline constexpr Picoseconds kSystemClockPeriodPs = 1.0e12 / kSystemClockHz;
+
+/// Nominal platform parameters measured in the paper (Section 5.1).
+/// These seed the *simulated* fabric; the measurement procedures in
+/// trng::model re-derive them from simulation, mimicking the paper's flow.
+inline constexpr Picoseconds kNominalLutDelayPs = 480.0;   ///< d0,LUT
+inline constexpr Picoseconds kNominalCarryBinPs = 17.0;    ///< t_step
+inline constexpr Picoseconds kNominalJitterSigmaPs = 2.0;  ///< sigma_LUT
+
+}  // namespace constants
+
+}  // namespace trng

@@ -1,0 +1,38 @@
+// Common reporting interface for the related-work TRNGs of Table 2.
+//
+// The baselines are behavioural simulations: they reproduce each design's
+// bit-generation mechanism (where the entropy comes from and at what rate)
+// plus its published resource/throughput figures, which is what Table 2
+// compares. They are NOT gate-accurate reimplementations of third-party
+// netlists; deviations are noted per class.
+#pragma once
+
+#include <string>
+
+#include "common/bitstream.hpp"
+
+namespace trng::core::baselines {
+
+struct BaselineInfo {
+  std::string work;        ///< citation tag, e.g. "[8] Schellekens et al."
+  std::string platform;    ///< FPGA family of the published implementation
+  std::string resources;   ///< as reported in Table 2
+  double throughput_bps = 0.0;
+};
+
+class BaselineTrng {
+ public:
+  virtual ~BaselineTrng() = default;
+
+  virtual bool next_bit() = 0;
+  virtual BaselineInfo info() const = 0;
+
+  common::BitStream generate(std::size_t count) {
+    common::BitStream bits;
+    bits.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) bits.push_back(next_bit());
+    return bits;
+  }
+};
+
+}  // namespace trng::core::baselines

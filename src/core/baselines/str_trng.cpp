@@ -1,0 +1,48 @@
+#include "core/baselines/str_trng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trng::core::baselines {
+
+SelfTimedRingTrng::SelfTimedRingTrng(Params params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  if (params_.stages < 2 || !(params_.ring_period_ps > 0.0) ||
+      !(params_.sample_rate_hz > 0.0) || !(params_.stage_jitter_ps >= 0.0)) {
+    throw std::invalid_argument("SelfTimedRingTrng: invalid parameters");
+  }
+  const double sample_period_ps = 1.0e12 / params_.sample_rate_hz;
+  // Jitter accumulated over one sample period, scaled from the per-ring-
+  // period figure (variance linear in elapsed time — same accumulation law
+  // as Eq. 1).
+  sigma_per_sample_ = params_.stage_jitter_ps *
+                      std::sqrt(sample_period_ps / params_.ring_period_ps);
+  phase_ps_ = rng_.next_double() * params_.ring_period_ps;
+  // The ring period is incommensurate with the sample clock; the residual
+  // phase advance per sample sweeps the bins deterministically.
+  drift_ps_ = std::fmod(sample_period_ps, params_.ring_period_ps);
+}
+
+Picoseconds SelfTimedRingTrng::phase_resolution_ps() const {
+  return params_.ring_period_ps / static_cast<double>(params_.stages);
+}
+
+bool SelfTimedRingTrng::next_bit() {
+  phase_ps_ += drift_ps_ + sigma_per_sample_ * rng_.next_gaussian();
+  phase_ps_ = std::fmod(phase_ps_, params_.ring_period_ps);
+  if (phase_ps_ < 0.0) phase_ps_ += params_.ring_period_ps;
+  const double delta = phase_resolution_ps();
+  const auto bin = static_cast<long long>(std::floor(phase_ps_ / delta));
+  return (bin % 2) != 0;
+}
+
+BaselineInfo SelfTimedRingTrng::info() const {
+  BaselineInfo bi;
+  bi.work = "[1] Cherkaoui et al. (self-timed ring)";
+  bi.platform = "Virtex 5";
+  bi.resources = ">511 LUTs";
+  bi.throughput_bps = params_.sample_rate_hz;
+  return bi;
+}
+
+}  // namespace trng::core::baselines

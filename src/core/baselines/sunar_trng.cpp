@@ -1,0 +1,75 @@
+#include "core/baselines/sunar_trng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trng::core::baselines {
+
+SunarSchellekensTrng::SunarSchellekensTrng(Params params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  if (params_.rings < 1 || params_.stages_per_ring < 1 ||
+      !(params_.d0_ps > 0.0) || !(params_.sample_rate_hz > 0.0) ||
+      params_.code_out == 0 || params_.code_in % params_.code_out != 0) {
+    throw std::invalid_argument("SunarSchellekensTrng: invalid parameters");
+  }
+  sample_period_ps_ = 1.0e12 / params_.sample_rate_hz;
+  phase_.resize(static_cast<std::size_t>(params_.rings));
+  half_period_.resize(static_cast<std::size_t>(params_.rings));
+  for (int i = 0; i < params_.rings; ++i) {
+    // Process variation de-tunes the rings a few percent; identical rings
+    // would phase-lock in the XOR and kill the design, so the spread is
+    // essential (and present in real fabric).
+    const double spread = 1.0 + 0.03 * rng_.next_gaussian();
+    half_period_[static_cast<std::size_t>(i)] =
+        static_cast<double>(params_.stages_per_ring) * params_.d0_ps *
+        std::max(spread, 0.5);
+    phase_[static_cast<std::size_t>(i)] = rng_.next_double() * 2.0;
+  }
+}
+
+bool SunarSchellekensTrng::next_raw_sample() {
+  bool acc = false;
+  for (std::size_t i = 0; i < phase_.size(); ++i) {
+    // Advance the ring by one sample period: the phase (in half-periods)
+    // grows by dt/half_period plus accumulated white jitter (Eq. 1 per
+    // ring: variance grows with the number of traversals).
+    const double traversals =
+        sample_period_ps_ / (half_period_[i] /
+                             static_cast<double>(params_.stages_per_ring));
+    const double jitter_ps =
+        params_.sigma_ps * std::sqrt(traversals) * rng_.next_gaussian();
+    phase_[i] += (sample_period_ps_ + jitter_ps) / half_period_[i];
+    // Square wave: value = parity of completed half-periods.
+    const auto halves = static_cast<long long>(std::floor(phase_[i]));
+    acc = acc != ((halves % 2) != 0);
+  }
+  return acc;
+}
+
+bool SunarSchellekensTrng::next_bit() {
+  if (out_pos_ < out_buffer_.size()) return out_buffer_[out_pos_++];
+  // Refill: collect code_in raw samples, compress to code_out parity bits
+  // over disjoint groups.
+  out_buffer_.assign(params_.code_out, false);
+  const unsigned group = params_.code_in / params_.code_out;
+  for (unsigned o = 0; o < params_.code_out; ++o) {
+    bool parity = false;
+    for (unsigned g = 0; g < group; ++g) parity = parity != next_raw_sample();
+    out_buffer_[o] = parity;
+  }
+  out_pos_ = 0;
+  return out_buffer_[out_pos_++];
+}
+
+BaselineInfo SunarSchellekensTrng::info() const {
+  BaselineInfo bi;
+  bi.work = "[8] Schellekens et al. (Sunar construction)";
+  bi.platform = "Virtex 2 pro";
+  bi.resources = "565 slices";
+  bi.throughput_bps = params_.sample_rate_hz *
+                      static_cast<double>(params_.code_out) /
+                      static_cast<double>(params_.code_in);
+  return bi;
+}
+
+}  // namespace trng::core::baselines

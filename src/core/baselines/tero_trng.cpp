@@ -1,0 +1,35 @@
+#include "core/baselines/tero_trng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trng::core::baselines {
+
+TeroTrng::TeroTrng(Params params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  if (!(params_.mean_count > 1.0) || !(params_.rel_sigma > 0.0) ||
+      !(params_.trigger_rate_hz > 0.0)) {
+    throw std::invalid_argument("TeroTrng: invalid parameters");
+  }
+}
+
+bool TeroTrng::next_bit() {
+  // Multiplicative decay of the TERO asymmetry => lognormal count.
+  const double log_mean = std::log(params_.mean_count);
+  const double count =
+      std::exp(log_mean + params_.rel_sigma * rng_.next_gaussian());
+  last_count_ = static_cast<long long>(std::llround(count));
+  if (last_count_ < 1) last_count_ = 1;
+  return (last_count_ % 2) != 0;
+}
+
+BaselineInfo TeroTrng::info() const {
+  BaselineInfo bi;
+  bi.work = "[11] Varchola & Drutarovsky (TERO)";
+  bi.platform = "Spartan 3E";
+  bi.resources = "not reported";
+  bi.throughput_bps = params_.trigger_rate_hz;
+  return bi;
+}
+
+}  // namespace trng::core::baselines

@@ -1,0 +1,53 @@
+#include "core/extractor.hpp"
+
+#include <stdexcept>
+
+namespace trng::core {
+
+EntropyExtractor::EntropyExtractor(int m, int k) : m_(m), k_(k) {
+  if (m < 2) {
+    throw std::invalid_argument("EntropyExtractor: need m >= 2 taps");
+  }
+  if (k < 1 || k > m) {
+    throw std::invalid_argument("EntropyExtractor: k must be in [1, m]");
+  }
+}
+
+std::vector<bool> EntropyExtractor::xor_fold(
+    const std::vector<sim::LineSnapshot>& lines) const {
+  if (lines.empty()) {
+    throw std::invalid_argument("EntropyExtractor: no line snapshots");
+  }
+  std::vector<bool> v(static_cast<std::size_t>(m_), false);
+  for (const auto& line : lines) {
+    if (static_cast<int>(line.size()) != m_) {
+      throw std::invalid_argument(
+          "EntropyExtractor: snapshot width != configured m");
+    }
+    for (int j = 0; j < m_; ++j) {
+      v[static_cast<std::size_t>(j)] =
+          v[static_cast<std::size_t>(j)] != line[static_cast<std::size_t>(j)];
+    }
+  }
+  return v;
+}
+
+ExtractionResult EntropyExtractor::extract(
+    const std::vector<sim::LineSnapshot>& lines) const {
+  const std::vector<bool> v = xor_fold(lines);
+
+  // Priority-encode the first transition of the folded vector.
+  ExtractionResult r;
+  for (int j = 0; j + 1 < m_; ++j) {
+    if (v[static_cast<std::size_t>(j)] != v[static_cast<std::size_t>(j + 1)]) {
+      r.edge_found = true;
+      r.edge_position = j;
+      const int binned = j / k_;
+      r.bit = (binned & 1) != 0;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace trng::core

@@ -1,0 +1,58 @@
+#include "core/postprocess.hpp"
+
+#include <stdexcept>
+
+namespace trng::core {
+
+XorPostProcessor::XorPostProcessor(unsigned np) : np_(np) {
+  if (np == 0) {
+    throw std::invalid_argument("XorPostProcessor: np must be >= 1");
+  }
+}
+
+bool XorPostProcessor::feed(bool raw, bool& out) {
+  acc_ = acc_ != raw;
+  if (++fill_ == np_) {
+    out = acc_;
+    acc_ = false;
+    fill_ = 0;
+    return true;
+  }
+  return false;
+}
+
+common::BitStream XorPostProcessor::process(const common::BitStream& raw) const {
+  return raw.xor_fold(np_);
+}
+
+bool VonNeumannPostProcessor::feed(bool raw, bool& out) {
+  if (!have_first_) {
+    first_ = raw;
+    have_first_ = true;
+    return false;
+  }
+  have_first_ = false;
+  if (first_ == raw) return false;  // 00 / 11 discarded
+  out = first_;                     // "10" -> 1, "01" -> 0
+  return true;
+}
+
+common::BitStream VonNeumannPostProcessor::process(
+    const common::BitStream& raw) const {
+  VonNeumannPostProcessor vn;  // fresh state; `this` stays untouched (const)
+  common::BitStream out;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    bool bit;
+    if (vn.feed(raw[i], bit)) out.push_back(bit);
+  }
+  return out;
+}
+
+double VonNeumannPostProcessor::expected_rate(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::domain_error("VonNeumann::expected_rate: p outside [0, 1]");
+  }
+  return p * (1.0 - p);
+}
+
+}  // namespace trng::core

@@ -1,0 +1,53 @@
+// Post-processing (paper Section 4.5).
+//
+// XOR post-processing folds n_p consecutive raw bits into one output bit,
+// trading throughput (divided by n_p) for entropy-per-bit. The bias after
+// compression follows the piling-up lemma: b_pp = 2^(n_p - 1) * b^(n_p)
+// (Eq. 7). Von Neumann debiasing is included as an extension (perfectly
+// unbiased output for i.i.d. input at an irregular, input-dependent rate).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitstream.hpp"
+
+namespace trng::core {
+
+/// Streaming XOR compressor: feed raw bits, collect compressed bits.
+class XorPostProcessor {
+ public:
+  /// `np` >= 1; np == 1 passes bits through unchanged.
+  explicit XorPostProcessor(unsigned np);
+
+  /// Feeds one raw bit; returns true when an output bit completed, in which
+  /// case `out` receives it.
+  bool feed(bool raw, bool& out);
+
+  /// Compresses a whole stream (drops a trailing partial group).
+  common::BitStream process(const common::BitStream& raw) const;
+
+  unsigned np() const { return np_; }
+
+ private:
+  unsigned np_;
+  unsigned fill_ = 0;
+  bool acc_ = false;
+};
+
+/// Von Neumann debiaser: consumes bit pairs, emits 0 for "01", 1 for "10",
+/// nothing for "00"/"11".
+class VonNeumannPostProcessor {
+ public:
+  bool feed(bool raw, bool& out);
+  common::BitStream process(const common::BitStream& raw) const;
+
+  /// Expected output/input ratio for i.i.d. input with ones-probability p:
+  /// p(1-p) outputs per input bit.
+  static double expected_rate(double p);
+
+ private:
+  bool have_first_ = false;
+  bool first_ = false;
+};
+
+}  // namespace trng::core

@@ -1,0 +1,77 @@
+#include "core/trng.hpp"
+
+namespace trng::core {
+
+namespace {
+
+fpga::ElaboratedTrng elaborate_canonical(const fpga::Fabric& fabric,
+                                         const DesignParams& params,
+                                         int base_col, int base_row) {
+  params.validate();
+  const auto floorplan = fpga::TrngFloorplan::canonical(
+      fabric.geometry(), params.n, params.m, base_col, base_row);
+  return fabric.elaborate(floorplan, params.k);
+}
+
+}  // namespace
+
+CarryChainTrng::CarryChainTrng(const fpga::Fabric& fabric, DesignParams params,
+                               std::uint64_t seed,
+                               const sim::NoiseConfig& noise, int base_col,
+                               int base_row)
+    : params_(params),
+      elaborated_(elaborate_canonical(fabric, params, base_col, base_row)),
+      sampler_(elaborated_, fabric.spec().flip_flop, noise, seed, params.mode,
+               1.0e12 / constants::kSystemClockHz),
+      extractor_(params.m, params.k) {}
+
+bool CarryChainTrng::next_raw_bit() {
+  const sim::CaptureResult capture =
+      sampler_.next_capture(params_.accumulation_cycles);
+  ++diagnostics_.captures;
+
+  // Phenomenology accounting (Figure 4 classes).
+  const sim::SnapshotClass cls = sim::classify_snapshots(capture.lines);
+  switch (cls) {
+    case sim::SnapshotClass::kDoubleEdge: ++diagnostics_.double_edges; break;
+    case sim::SnapshotClass::kBubbles: ++diagnostics_.bubbles; break;
+    case sim::SnapshotClass::kNoEdge: break;  // counted below via extractor
+    case sim::SnapshotClass::kRegular: break;
+  }
+
+  const ExtractionResult r = extractor_.extract(capture.lines);
+  if (!r.edge_found) {
+    ++diagnostics_.missed_edges;
+    return false;
+  }
+  return r.bit;
+}
+
+common::BitStream CarryChainTrng::generate_raw(std::size_t count) {
+  common::BitStream bits;
+  bits.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) bits.push_back(next_raw_bit());
+  return bits;
+}
+
+common::BitStream CarryChainTrng::generate(std::size_t count) {
+  XorPostProcessor pp(params_.np);
+  common::BitStream bits;
+  bits.reserve(count);
+  while (bits.size() < count) {
+    bool out;
+    if (pp.feed(next_raw_bit(), out)) bits.push_back(out);
+  }
+  return bits;
+}
+
+double CarryChainTrng::raw_throughput_bps() const {
+  return constants::kSystemClockHz /
+         static_cast<double>(params_.accumulation_cycles);
+}
+
+double CarryChainTrng::throughput_bps() const {
+  return raw_throughput_bps() / static_cast<double>(params_.np);
+}
+
+}  // namespace trng::core

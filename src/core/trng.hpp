@@ -1,0 +1,79 @@
+// CarryChainTrng: the paper's TRNG, end to end, on a simulated die.
+//
+//   ring oscillator (entropy source)
+//     -> carry-chain TDC lines (digitization)
+//     -> entropy extractor (XOR fold, first-edge priority encode, LSB)
+//     -> optional XOR post-processing
+//
+// One raw bit is produced every N_A system-clock cycles, so raw throughput
+// is f_CLK / N_A and post-processed throughput f_CLK / (N_A * n_p) — the
+// accounting behind Table 1's throughput column.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitstream.hpp"
+#include "core/config.hpp"
+#include "core/extractor.hpp"
+#include "core/postprocess.hpp"
+#include "fpga/fabric.hpp"
+#include "sim/sampler.hpp"
+
+namespace trng::core {
+
+class CarryChainTrng {
+ public:
+  /// Places the canonical floorplan (Section 5) on `fabric`, elaborates it
+  /// and builds the datapath. `noise` defaults to the full noise taxonomy;
+  /// use sim::NoiseConfig::white_only() for the model's idealized world.
+  /// Throws std::invalid_argument for invalid parameters/floorplans.
+  CarryChainTrng(const fpga::Fabric& fabric, DesignParams params,
+                 std::uint64_t seed,
+                 const sim::NoiseConfig& noise = sim::NoiseConfig{},
+                 int base_col = 0, int base_row = 17);
+
+  /// Generates one raw (pre-post-processing) bit.
+  /// A capture whose snapshots contain no edge (possible for too-small m)
+  /// yields 0 and is counted in diagnostics().missed_edges.
+  bool next_raw_bit();
+
+  /// Generates `count` raw bits.
+  common::BitStream generate_raw(std::size_t count);
+
+  /// Generates `count` post-processed bits (consumes count * np raw bits).
+  common::BitStream generate(std::size_t count);
+
+  /// Raw bit rate f_CLK / N_A in bits/s.
+  double raw_throughput_bps() const;
+
+  /// Post-processed bit rate f_CLK / (N_A * n_p) in bits/s.
+  double throughput_bps() const;
+
+  const DesignParams& params() const { return params_; }
+  const fpga::ResourceReport& resources() const {
+    return elaborated_.resources;
+  }
+  const fpga::ElaboratedTrng& elaborated() const { return elaborated_; }
+
+  struct Diagnostics {
+    std::uint64_t captures = 0;
+    std::uint64_t missed_edges = 0;   ///< no edge in any line (Sec. 5.2)
+    std::uint64_t double_edges = 0;   ///< Fig. 4b events
+    std::uint64_t bubbles = 0;        ///< Fig. 4c events
+  };
+  const Diagnostics& diagnostics() const { return diagnostics_; }
+
+  /// Metastable FF captures so far (from the delay-line simulators).
+  std::uint64_t metastable_events() const {
+    return sampler_.metastable_events();
+  }
+
+ private:
+  DesignParams params_;
+  fpga::ElaboratedTrng elaborated_;
+  sim::SampleController sampler_;
+  EntropyExtractor extractor_;
+  Diagnostics diagnostics_;
+};
+
+}  // namespace trng::core

@@ -1,0 +1,39 @@
+#include "fpga/clock_tree.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+
+namespace trng::fpga {
+
+ClockTreeModel::ClockTreeModel(const DeviceGeometry& geom, ClockTreeSpec spec,
+                               std::uint64_t die_seed)
+    : geom_(geom), spec_(spec), die_seed_(die_seed) {}
+
+Picoseconds ClockTreeModel::arrival_skew(SliceCoord c) const {
+  if (!geom_.contains(c)) {
+    throw std::out_of_range("ClockTreeModel::arrival_skew: off-device");
+  }
+  const int region = geom_.clock_region(c);
+  const int region_base = region * geom_.rows_per_clock_region();
+  const int region_rows = geom_.rows_per_clock_region();
+  const double spine_row = region_base + (region_rows - 1) / 2.0;
+
+  // Vertical ramp away from the spine.
+  const double vertical =
+      std::abs(static_cast<double>(c.row) - spine_row) * spec_.skew_per_row_ps;
+
+  // Horizontal taper along the spine.
+  const double horizontal = static_cast<double>(c.col) * spec_.skew_per_col_ps;
+
+  // Per-region insertion offset in [-bound, +bound], fixed per die.
+  common::SplitMix64 sm(die_seed_ ^ (0xC10CULL << 32) ^
+                        static_cast<std::uint64_t>(static_cast<std::uint32_t>(region)));
+  const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  const double region_offset = (2.0 * u - 1.0) * spec_.region_offset_bound_ps;
+
+  return vertical + horizontal + region_offset;
+}
+
+}  // namespace trng::fpga

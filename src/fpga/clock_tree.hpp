@@ -1,0 +1,52 @@
+// Clock-distribution skew model.
+//
+// The clock reaches different flip-flops at slightly different times. For a
+// carry-chain TDC this skew adds to (or subtracts from) the carry delay
+// between consecutive taps, which is the dominant source of bin-width
+// non-linearity: Menninga et al. [6] traced Xilinx TDC DNL to the unbalanced
+// clock tree, and the paper adopts their fix — constrain the chain to a
+// single clock region (Section 5.2).
+//
+// Model: within a clock region the clock enters at a horizontal spine at the
+// region's center row and propagates vertically, adding a per-row ramp.
+// Consecutive rows inside one region therefore differ by a small constant;
+// rows on opposite sides of a region boundary differ by a large jump
+// (opposite ramp signs + re-buffering insertion offset).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "fpga/device.hpp"
+
+namespace trng::fpga {
+
+struct ClockTreeSpec {
+  /// Incremental skew per row of vertical distance from the region spine.
+  Picoseconds skew_per_row_ps = 2.5;
+
+  /// Additional fixed insertion-delay offset of each region's re-buffered
+  /// spine, randomized per region from the die seed within +/- this bound.
+  Picoseconds region_offset_bound_ps = 25.0;
+
+  /// Small per-column skew ramp (horizontal spine taper).
+  Picoseconds skew_per_col_ps = 0.15;
+};
+
+class ClockTreeModel {
+ public:
+  ClockTreeModel(const DeviceGeometry& geom, ClockTreeSpec spec,
+                 std::uint64_t die_seed);
+
+  /// Clock arrival time at slice `c` relative to the ideal clock edge.
+  Picoseconds arrival_skew(SliceCoord c) const;
+
+  const ClockTreeSpec& spec() const { return spec_; }
+
+ private:
+  DeviceGeometry geom_;
+  ClockTreeSpec spec_;
+  std::uint64_t die_seed_;
+};
+
+}  // namespace trng::fpga

@@ -1,0 +1,58 @@
+// Environmental operating conditions (temperature, supply voltage).
+//
+// The paper sizes m for "the worst-case conditions" because "the delay of
+// the oscillator elements as well as the time-step of the conversion can
+// vary due to the temperature or voltage variations" (Section 3). This
+// model makes those variations explicit: delays stretch with temperature
+// and shrink with over-voltage (first-order CMOS behaviour), and the
+// thermal-noise sigma scales with sqrt(absolute temperature).
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trng::fpga {
+
+struct OperatingPoint {
+  double temperature_c = 25.0;  ///< junction temperature
+  double vdd_v = 1.2;           ///< core supply (Spartan-6 nominal 1.2 V)
+
+  /// Commercial-grade envelope used by the robustness ablations.
+  static OperatingPoint nominal() { return {}; }
+  static OperatingPoint hot_low_voltage() { return {85.0, 1.14}; }
+  static OperatingPoint cold_high_voltage() { return {0.0, 1.26}; }
+};
+
+/// First-order environmental scaling coefficients.
+struct EnvironmentalModel {
+  /// Relative delay increase per degree C above 25 C (CMOS gate delay
+  /// tempco on 45 nm-class fabric: ~0.1-0.15 %/C).
+  double delay_tempco_per_c = 0.0012;
+
+  /// Relative delay decrease per volt of over-voltage (alpha-power-law
+  /// linearization around nominal).
+  double delay_per_volt = -0.9;
+
+  /// Delay multiplier at operating point `op` relative to nominal.
+  double delay_multiplier(const OperatingPoint& op,
+                          double nominal_vdd = 1.2) const {
+    const double t = 1.0 + delay_tempco_per_c * (op.temperature_c - 25.0);
+    const double v = 1.0 + delay_per_volt * (op.vdd_v - nominal_vdd);
+    if (t <= 0.0 || v <= 0.0) {
+      throw std::domain_error(
+          "EnvironmentalModel: operating point outside model validity");
+    }
+    return t * v;
+  }
+
+  /// Thermal-noise sigma multiplier: sigma ~ sqrt(T_kelvin).
+  double sigma_multiplier(const OperatingPoint& op) const {
+    const double t_kelvin = op.temperature_c + 273.15;
+    if (t_kelvin <= 0.0) {
+      throw std::domain_error("EnvironmentalModel: below absolute zero");
+    }
+    return std::sqrt(t_kelvin / (25.0 + 273.15));
+  }
+};
+
+}  // namespace trng::fpga

@@ -1,0 +1,78 @@
+#include "fpga/placement.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace trng::fpga {
+
+TrngFloorplan TrngFloorplan::canonical(const DeviceGeometry& geom, int n,
+                                       int m, int base_col, int base_row) {
+  if (n < 1) throw std::invalid_argument("canonical: need n >= 1 RO stages");
+  if (m < 4 || m % 4 != 0) {
+    throw std::invalid_argument(
+        "canonical: m must be a positive multiple of 4 (CARRY4 granularity)");
+  }
+  if (base_row < 1) {
+    throw std::invalid_argument(
+        "canonical: base_row must leave a row below for the RO stage");
+  }
+  TrngFloorplan fp;
+  const int carry4s = m / 4;
+  for (int i = 0; i < n; ++i) {
+    DelayLinePlacement line;
+    line.col = base_col + 2 * i;  // consecutive carry-capable columns
+    line.start_row = base_row;
+    line.carry4_count = carry4s;
+    fp.lines.push_back(line);
+    fp.ro_stages.push_back(
+        RoStagePlacement{SliceCoord{line.col, base_row - 1}, 0});
+  }
+  fp.validate(geom);
+  return fp;
+}
+
+void TrngFloorplan::validate(const DeviceGeometry& geom) const {
+  if (lines.empty()) {
+    throw std::invalid_argument("TrngFloorplan: no delay lines");
+  }
+  if (ro_stages.size() != lines.size()) {
+    throw std::invalid_argument(
+        "TrngFloorplan: need exactly one RO stage per delay line");
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& line = lines[i];
+    if (line.carry4_count < 1) {
+      throw std::invalid_argument("TrngFloorplan: empty carry chain");
+    }
+    for (int s = 0; s < line.carry4_count; ++s) {
+      const SliceCoord c{line.col, line.start_row + s};
+      if (!geom.contains(c)) {
+        throw std::invalid_argument("TrngFloorplan: line " + std::to_string(i) +
+                                    " runs off the device");
+      }
+      if (!geom.has_carry_chain(c)) {
+        throw std::invalid_argument(
+            "TrngFloorplan: line " + std::to_string(i) +
+            " placed in a column without carry chains (odd column)");
+      }
+    }
+    const auto& ro = ro_stages[i];
+    if (!geom.contains(ro.slice)) {
+      throw std::invalid_argument("TrngFloorplan: RO stage off-device");
+    }
+    if (ro.lut_index < 0 || ro.lut_index >= DeviceGeometry::kLutsPerSlice) {
+      throw std::invalid_argument("TrngFloorplan: LUT index out of range");
+    }
+  }
+}
+
+bool TrngFloorplan::single_clock_region(const DeviceGeometry& geom) const {
+  for (const auto& line : lines) {
+    if (!geom.rows_in_single_region(line.start_row, line.carry4_count)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace trng::fpga

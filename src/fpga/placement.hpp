@@ -1,0 +1,68 @@
+// Floorplanning of the TRNG on the simulated fabric.
+//
+// The paper uses exactly two placement constraints (Section 5): the fast
+// delay lines are vertical carry chains, and the ring-oscillator stages sit
+// in the slices directly below their lines. TrngFloorplan reproduces that
+// arrangement and validates it against the device rules (carry chains only
+// in even columns, contiguity, optional single-clock-region constraint).
+#pragma once
+
+#include <vector>
+
+#include "fpga/device.hpp"
+
+namespace trng::fpga {
+
+/// One vertical carry-chain TDC: `carry4_count` CARRY4 slices stacked in a
+/// carry-capable column, giving 4 * carry4_count taps.
+struct DelayLinePlacement {
+  int col = 0;
+  int start_row = 0;
+  int carry4_count = 9;  ///< paper default: 9 CARRY4 = 36 taps
+
+  int taps() const { return 4 * carry4_count; }
+  SliceCoord slice_of_tap(int tap) const {
+    return SliceCoord{col, start_row + tap / 4};
+  }
+};
+
+/// One ring-oscillator stage occupies one LUT; the paper places one stage
+/// per slice, directly below the corresponding delay line.
+struct RoStagePlacement {
+  SliceCoord slice;
+  int lut_index = 0;  ///< which of the slice's 4 LUTs
+};
+
+/// Complete TRNG floorplan: n delay lines (one per RO stage) in adjacent
+/// carry columns plus the RO stages below them.
+struct TrngFloorplan {
+  std::vector<DelayLinePlacement> lines;
+  std::vector<RoStagePlacement> ro_stages;
+
+  /// Builds the paper's canonical floorplan: line i in carry column
+  /// `base_col + 2*i`, rows [base_row, base_row + carry4_count), RO stage i
+  /// at (same column, base_row - 1).
+  ///
+  /// `n` = RO stages / delay lines, `m` = taps per line (must be a multiple
+  /// of 4, Section 5.2). Throws std::invalid_argument on bad parameters.
+  static TrngFloorplan canonical(const DeviceGeometry& geom, int n, int m,
+                                 int base_col = 0, int base_row = 17);
+
+  /// Validates against device rules. Throws std::invalid_argument with a
+  /// description of the first violated rule.
+  void validate(const DeviceGeometry& geom) const;
+
+  /// True when every delay line lies inside a single clock region — the
+  /// linearization constraint of Section 5.2.
+  bool single_clock_region(const DeviceGeometry& geom) const;
+};
+
+/// Occupied-resource accounting for Table 2.
+struct ResourceReport {
+  int slices = 0;
+  int luts = 0;
+  int flip_flops = 0;
+  int carry4s = 0;
+};
+
+}  // namespace trng::fpga

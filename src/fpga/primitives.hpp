@@ -1,0 +1,78 @@
+// Timing specifications of the fabric primitives the design instantiates:
+// LUTs (ring-oscillator stages), CARRY4 taps (TDC bins) and flip-flops
+// (TDC samplers, including their metastability behaviour).
+//
+// These are *specs* — nominal values plus variability knobs. Concrete
+// per-site delays are produced by ProcessVariationModel and assembled by
+// Fabric.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace trng::fpga {
+
+/// Timing of a LUT configured as inverter/buffer, including its local
+/// routing. The paper's measured average is d0,LUT = 480 ps on Spartan-6.
+struct LutTimingSpec {
+  Picoseconds nominal_delay_ps = constants::kNominalLutDelayPs;
+
+  /// Std-dev of the white (thermal) jitter added to *every* transition
+  /// through the LUT. Paper: sigma_G,LUT ~= 2 ps.
+  Picoseconds thermal_sigma_ps = constants::kNominalJitterSigmaPs;
+
+  /// Relative std-dev of the static per-site process variation of the
+  /// delay (device-to-device / site-to-site, fixed after elaboration).
+  double process_sigma_rel = 0.05;
+};
+
+/// Timing of one CARRY4 primitive: four MUXCY taps. The taps are not
+/// structurally identical — the paper cites the CARRY4's internal structure
+/// as one source of TDC non-linearity — so each tap has its own nominal
+/// weight. Weights average 1.0 so the mean tap delay equals
+/// `nominal_tap_delay_ps` (t_step ~= 17 ps measured in the paper).
+struct Carry4TimingSpec {
+  /// In-slice MUXCY tap delay. Set to 16 ps so that, together with the
+  /// inter-slice hand-off (4 ps extra on every fourth tap), the *average*
+  /// bin width comes out at the paper's measured t_step = 17 ps:
+  /// (4*16 + 4)/4 = 17.
+  Picoseconds nominal_tap_delay_ps = 16.0;
+
+  /// Structural per-tap weight (MUXCY position within the CARRY4).
+  /// Real Xilinx carry TDCs show strong structural DNL with narrow and wide
+  /// bins alternating inside the CARRY4 (Menninga et al.); the weights here
+  /// give bins of ~12-20 ps around the 16 ps in-slice mean.
+  double tap_weight[4] = {0.75, 1.25, 0.85, 1.15};
+
+  /// Relative process variation per tap.
+  double process_sigma_rel = 0.06;
+
+  /// Extra delay of the inter-slice carry hand-off (CO[3] -> CIN of the
+  /// slice above) relative to an in-slice tap.
+  Picoseconds interslice_extra_ps = 4.0;
+};
+
+/// Flip-flop sampling behaviour. When the data input toggles within the
+/// metastability aperture around the effective clock edge, the FF can go
+/// metastable and resolve to a random value — the mechanism behind the
+/// "bubbles" of Figure 4(c).
+struct FlipFlopTimingSpec {
+  /// Width of the aperture (centered on the effective sampling instant)
+  /// within which capture is not deterministic.
+  Picoseconds aperture_ps = 10.0;
+
+  /// Exponential constant of the metastability-resolution probability:
+  /// p(random) = exp(-|dt| / tau) for |dt| <= aperture/2.
+  Picoseconds resolution_tau_ps = 2.5;
+
+  /// Static per-FF input-threshold offset (std-dev): each flip-flop of a
+  /// TDC effectively samples at its own fixed offset from the ideal
+  /// instant. Together with the narrow CARRY4 taps this makes neighbouring
+  /// observation instants occasionally non-monotonic — the physical origin
+  /// of the "bubbles" of Figure 4(c).
+  Picoseconds static_offset_sigma_ps = 2.0;
+
+  /// Dynamic per-capture sampling jitter of each FF (std-dev).
+  Picoseconds dynamic_jitter_sigma_ps = 0.8;
+};
+
+}  // namespace trng::fpga

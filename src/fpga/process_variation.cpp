@@ -1,0 +1,59 @@
+#include "fpga/process_variation.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace trng::fpga {
+
+namespace {
+
+/// Maps a 64-bit hash to an approximately standard-normal value by summing
+/// four independent uniforms (Irwin–Hall, variance-corrected). Good enough
+/// for delay variation in ~[-4, 4] sigma; exactly reproducible.
+double hash_to_gaussian(std::uint64_t h) {
+  common::SplitMix64 sm(h);
+  double s = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    s += static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  }
+  // Sum of 4 U(0,1): mean 2, variance 4/12. Normalize to N(0,1).
+  return (s - 2.0) / std::sqrt(4.0 / 12.0);
+}
+
+}  // namespace
+
+ProcessVariationModel::ProcessVariationModel(std::uint64_t die_seed,
+                                             double gradient_rel)
+    : die_seed_(die_seed), gradient_rel_(gradient_rel) {}
+
+double ProcessVariationModel::delay_multiplier(const DeviceGeometry& geom,
+                                               SliceCoord c, int element_index,
+                                               double sigma_rel) const {
+  if (!geom.contains(c)) {
+    throw std::out_of_range("ProcessVariationModel: slice off-device");
+  }
+  // Systematic component: a fixed tilt across the die whose direction is a
+  // function of the die seed.
+  common::SplitMix64 die_hash(die_seed_ ^ 0xD1E5EEDULL);
+  const double angle = static_cast<double>(die_hash.next() >> 11) * 0x1.0p-53 *
+                       6.283185307179586;
+  const double cx = static_cast<double>(c.col) / static_cast<double>(geom.columns() - 1) - 0.5;
+  const double cy = static_cast<double>(c.row) / static_cast<double>(geom.rows() - 1) - 0.5;
+  const double systematic =
+      gradient_rel_ * (cx * std::cos(angle) + cy * std::sin(angle));
+
+  // Random per-element component, deterministic in (seed, site, element).
+  const std::uint64_t key = die_seed_ ^
+                            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.col)) << 40) ^
+                            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.row)) << 16) ^
+                            static_cast<std::uint64_t>(static_cast<std::uint32_t>(element_index));
+  const double random = sigma_rel * hash_to_gaussian(key);
+
+  // Lower-bounded so a deep-sigma draw can never produce a non-physical
+  // (zero or negative) delay.
+  const double mult = 1.0 + systematic + random;
+  return mult > 0.05 ? mult : 0.05;
+}
+
+}  // namespace trng::fpga

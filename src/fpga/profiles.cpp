@@ -1,0 +1,53 @@
+#include "fpga/profiles.hpp"
+
+namespace trng::fpga {
+
+PlatformProfile spartan6_profile() {
+  PlatformProfile p;
+  p.name = "Spartan-6 (45nm)";
+  // The library defaults ARE the Spartan-6 calibration.
+  return p;
+}
+
+PlatformProfile artix7_profile() {
+  PlatformProfile p;
+  p.name = "Artix-7 (28nm)";
+  p.geometry = DeviceGeometry(80, 150, 50);  // 7-series: 50-row regions
+  p.spec.lut.nominal_delay_ps = 350.0;
+  p.spec.lut.thermal_sigma_ps = 1.6;
+  // Carry taps ~ (4 * 8.5 + 2) / 4 = 9 ps average.
+  p.spec.carry4.nominal_tap_delay_ps = 8.5;
+  p.spec.carry4.interslice_extra_ps = 2.0;
+  p.spec.clock_tree.skew_per_row_ps = 1.5;
+  p.spec.clock_tree.region_offset_bound_ps = 15.0;
+  p.spec.flip_flop.aperture_ps = 7.0;
+  p.spec.flip_flop.resolution_tau_ps = 1.8;
+  p.spec.flip_flop.static_offset_sigma_ps = 1.4;
+  p.spec.flip_flop.dynamic_jitter_sigma_ps = 0.6;
+  return p;
+}
+
+PlatformProfile cyclone4_profile() {
+  PlatformProfile p;
+  p.name = "Cyclone-IV (60nm)";
+  p.geometry = DeviceGeometry(60, 120, 30);
+  p.spec.lut.nominal_delay_ps = 430.0;
+  p.spec.lut.thermal_sigma_ps = 2.2;
+  // One carry bit per LE: model as uniform taps, coarser step
+  // (~(4 * 20 + 5)/4 = 21.25 ps average).
+  p.spec.carry4.nominal_tap_delay_ps = 20.0;
+  for (double& w : p.spec.carry4.tap_weight) w = 1.0;
+  p.spec.carry4.interslice_extra_ps = 5.0;
+  p.spec.carry4.process_sigma_rel = 0.05;
+  p.spec.clock_tree.skew_per_row_ps = 3.0;
+  p.spec.clock_tree.region_offset_bound_ps = 30.0;
+  p.spec.flip_flop.aperture_ps = 12.0;
+  p.spec.flip_flop.resolution_tau_ps = 3.0;
+  return p;
+}
+
+std::vector<PlatformProfile> builtin_profiles() {
+  return {spartan6_profile(), artix7_profile(), cyclone4_profile()};
+}
+
+}  // namespace trng::fpga

@@ -1,0 +1,47 @@
+// Platform profiles — the paper's future work ("applying the presented
+// methodology on different implementation platforms", Section 7).
+//
+// Each profile bundles a device geometry and fabric timing representative
+// of an FPGA family. The numbers are first-order public-datasheet-scale
+// figures (gate delay class, carry-mux delay class, clock-region height);
+// they parameterize the same simulation and design flow, so the entire
+// evaluation — platform measurement, model, design-space exploration,
+// statistical validation — reruns unchanged per platform
+// (see bench/ablation_platforms).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "fpga/fabric.hpp"
+
+namespace trng::fpga {
+
+struct PlatformProfile {
+  std::string name;
+  DeviceGeometry geometry{64, 128, 16};
+  FabricSpec spec;
+  double f_clk_hz = 100.0e6;
+
+  Fabric make_fabric(std::uint64_t die_seed) const {
+    return Fabric(geometry, die_seed, spec);
+  }
+};
+
+/// Spartan-6 (45 nm) — the paper's platform: d0 ~ 480 ps, t_step ~ 17 ps,
+/// sigma ~ 2 ps, 16-row clock regions.
+PlatformProfile spartan6_profile();
+
+/// Artix-7-class 28 nm fabric: faster LUTs (~350 ps with routing), finer
+/// carry taps (~9.5 ps average), taller clock regions (50 rows).
+PlatformProfile artix7_profile();
+
+/// Cyclone-IV-class 60 nm LE fabric: one carry bit per LE with a coarser
+/// ~21 ps step and ~430 ps LE+routing delay.
+PlatformProfile cyclone4_profile();
+
+/// All built-in profiles (for sweeps).
+std::vector<PlatformProfile> builtin_profiles();
+
+}  // namespace trng::fpga

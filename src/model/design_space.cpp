@@ -1,0 +1,102 @@
+#include "model/design_space.hpp"
+
+#include <stdexcept>
+
+namespace trng::model {
+
+DesignSpaceExplorer::DesignSpaceExplorer(const StochasticModel& model)
+    : model_(model) {}
+
+DesignPoint DesignSpaceExplorer::evaluate(int k, Cycles accumulation_cycles,
+                                          unsigned np) const {
+  DesignPoint p;
+  p.k = k;
+  p.accumulation_cycles = accumulation_cycles;
+  p.np = np;
+  p.t_a_ps = static_cast<double>(accumulation_cycles) * 1.0e12 /
+             model_.platform().f_clk_hz;
+  p.h_raw = model_.entropy_lower_bound(p.t_a_ps, k);
+  p.bias_raw = model_.worst_case_bias(p.t_a_ps, k);
+  p.h_post = model_.entropy_after_postprocessing(p.t_a_ps, k, np);
+  p.throughput_bps = model_.throughput_bps(accumulation_cycles, np);
+  return p;
+}
+
+std::vector<DesignPoint> DesignSpaceExplorer::sweep(
+    const std::vector<int>& ks, const std::vector<Cycles>& cycles,
+    const std::vector<unsigned>& nps) const {
+  std::vector<DesignPoint> out;
+  out.reserve(ks.size() * cycles.size() * nps.size());
+  for (int k : ks) {
+    for (Cycles c : cycles) {
+      for (unsigned np : nps) out.push_back(evaluate(k, c, np));
+    }
+  }
+  return out;
+}
+
+Cycles DesignSpaceExplorer::min_accumulation_cycles(int k, double target_h,
+                                                    Cycles max_cycles) const {
+  if (!(target_h > 0.0) || target_h > 1.0) {
+    throw std::invalid_argument("min_accumulation_cycles: target_h in (0,1]");
+  }
+  // Entropy is monotone in t_A (more accumulated jitter can only help), so
+  // galloping + binary search is exact.
+  const double t_clk_ps = 1.0e12 / model_.platform().f_clk_hz;
+  auto h_at = [&](Cycles c) {
+    return model_.entropy_lower_bound(static_cast<double>(c) * t_clk_ps, k);
+  };
+  Cycles hi = 1;
+  while (h_at(hi) < target_h) {
+    if (hi >= max_cycles) {
+      throw std::runtime_error(
+          "min_accumulation_cycles: target entropy unreachable");
+    }
+    hi *= 2;
+  }
+  Cycles lo = hi / 2;  // h(lo) < target (or lo == 0)
+  while (hi - lo > 1) {
+    const Cycles mid = lo + (hi - lo) / 2;
+    (h_at(mid) >= target_h ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+Picoseconds DesignSpaceExplorer::min_accumulation_time_ps(
+    int k, double target_h, Picoseconds tolerance_ps) const {
+  if (!(target_h > 0.0) || target_h > 1.0) {
+    throw std::invalid_argument("min_accumulation_time_ps: target_h in (0,1]");
+  }
+  auto h_at = [&](Picoseconds t) { return model_.entropy_lower_bound(t, k); };
+  Picoseconds hi = 1.0;
+  while (h_at(hi) < target_h) {
+    hi *= 2.0;
+    if (hi > 1.0e15) {
+      throw std::runtime_error(
+          "min_accumulation_time_ps: target entropy unreachable");
+    }
+  }
+  Picoseconds lo = 0.0;
+  while (hi - lo > tolerance_ps) {
+    const Picoseconds mid = 0.5 * (lo + hi);
+    (h_at(mid) >= target_h ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+unsigned DesignSpaceExplorer::min_np(int k, Cycles accumulation_cycles,
+                                     double target_h, unsigned max_np) const {
+  if (!(target_h > 0.0) || target_h > 1.0) {
+    throw std::invalid_argument("min_np: target_h in (0,1]");
+  }
+  const double t_a_ps = static_cast<double>(accumulation_cycles) * 1.0e12 /
+                        model_.platform().f_clk_hz;
+  for (unsigned np = 1; np <= max_np; ++np) {
+    if (model_.entropy_after_postprocessing(t_a_ps, k, np) >= target_h) {
+      return np;
+    }
+  }
+  throw std::runtime_error("min_np: target entropy unreachable within max_np");
+}
+
+}  // namespace trng::model

@@ -1,0 +1,88 @@
+#include "model/nonlinearity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace trng::model {
+
+std::vector<Picoseconds> effective_bin_widths(
+    const fpga::ElaboratedDelayLine& line, int k) {
+  const int m = line.taps();
+  if (k < 1 || m < k + 1) {
+    throw std::invalid_argument("effective_bin_widths: bad k or short line");
+  }
+  // Observation instant of tap j (relative, clock term cancels):
+  // s_j = skew_j - cumulative_j; raw bin width = s_j - s_{j+1}.
+  std::vector<Picoseconds> raw;
+  raw.reserve(static_cast<std::size_t>(m - 1));
+  for (int j = 0; j + 1 < m; ++j) {
+    const auto a = static_cast<std::size_t>(j);
+    const double s_j = line.ff_clock_skew[a] - line.cumulative_delay[a];
+    const double s_j1 = line.ff_clock_skew[a + 1] - line.cumulative_delay[a + 1];
+    raw.push_back(s_j - s_j1);
+  }
+  if (k == 1) return raw;
+  std::vector<Picoseconds> merged;
+  for (std::size_t j = 0; j + static_cast<std::size_t>(k) <= raw.size();
+       j += static_cast<std::size_t>(k)) {
+    double sum = 0.0;
+    for (int g = 0; g < k; ++g) sum += raw[j + static_cast<std::size_t>(g)];
+    merged.push_back(sum);
+  }
+  return merged;
+}
+
+DnlReport analyze_dnl(const fpga::ElaboratedDelayLine& line, int k) {
+  const auto widths = effective_bin_widths(line, k);
+  DnlReport r;
+  double sum = 0.0;
+  r.min_bin_ps = widths.front();
+  r.max_bin_ps = widths.front();
+  for (double w : widths) {
+    sum += w;
+    r.min_bin_ps = std::min(r.min_bin_ps, w);
+    r.max_bin_ps = std::max(r.max_bin_ps, w);
+  }
+  r.mean_bin_ps = sum / static_cast<double>(widths.size());
+  double sq = 0.0;
+  for (double w : widths) {
+    const double rel = (w - r.mean_bin_ps) / r.mean_bin_ps;
+    sq += rel * rel;
+    r.dnl_peak = std::max(r.dnl_peak, std::fabs(rel));
+  }
+  r.dnl_rms = std::sqrt(sq / static_cast<double>(widths.size()));
+  return r;
+}
+
+Picoseconds worst_bin_width_ps(const fpga::ElaboratedTrng& elaborated, int k,
+                               Picoseconds ff_margin_ps) {
+  if (elaborated.lines.empty()) {
+    throw std::invalid_argument("worst_bin_width_ps: no lines");
+  }
+  Picoseconds worst = 0.0;
+  for (const auto& line : elaborated.lines) {
+    worst = std::max(worst, analyze_dnl(line, k).max_bin_ps);
+  }
+  return worst + 2.0 * ff_margin_ps;
+}
+
+double dnl_aware_entropy_bound(const StochasticModel& model,
+                               const fpga::ElaboratedTrng& elaborated,
+                               Picoseconds t_a_ps, int k,
+                               Picoseconds ff_margin_ps) {
+  // Re-parameterize the model with the worst merged bin as the (k = 1)
+  // step; sigma_acc still comes from the original platform parameters.
+  core::PlatformParams worst = model.platform();
+  worst.t_step_ps = worst_bin_width_ps(elaborated, k, ff_margin_ps);
+  StochasticModel worst_model(worst);
+  const double mean_d0 =
+      elaborated.ro_half_period() /
+      static_cast<double>(elaborated.ro_stage_delay.size());
+  const double sigma = model.sigma_acc(t_a_ps);
+  return worst_model.folded_entropy_lower_bound_sigma(sigma, 1, mean_d0);
+}
+
+}  // namespace trng::model

@@ -1,0 +1,55 @@
+// TDC non-linearity (DNL) analysis — Section 5.2 of the paper.
+//
+// The stochastic model assumes equidistant bins (assumption 4, Section
+// 4.1). Real carry chains are not equidistant: CARRY4 structure, process
+// variation and clock-tree skew make bin widths vary (differential
+// non-linearity, DNL). The paper mitigates this with the single-clock-
+// region placement constraint and k = 4 down-sampling.
+//
+// These helpers quantify a die's DNL from elaborated timing and produce a
+// conservative DNL-aware entropy bound: evaluating the (folded) model with
+// the WIDEST effective bin as t_step lower-bounds the entropy of a die
+// whose worst bin is that wide.
+#pragma once
+
+#include "fpga/fabric.hpp"
+#include "model/stochastic_model.hpp"
+
+namespace trng::model {
+
+/// Bin-width statistics of one elaborated line at down-sampling k.
+struct DnlReport {
+  double mean_bin_ps = 0.0;
+  double min_bin_ps = 0.0;
+  double max_bin_ps = 0.0;
+  /// RMS of (w - mean)/mean over bins (relative DNL).
+  double dnl_rms = 0.0;
+  /// max |w - mean|/mean over bins.
+  double dnl_peak = 0.0;
+};
+
+/// Effective bin widths of a line (consecutive observation-instant
+/// spacings, including clock skew), merged in groups of k. The final
+/// partial group is dropped. Throws std::invalid_argument for k < 1 or a
+/// line with fewer than k + 1 taps.
+std::vector<Picoseconds> effective_bin_widths(
+    const fpga::ElaboratedDelayLine& line, int k = 1);
+
+/// DNL statistics for one line at down-sampling k.
+DnlReport analyze_dnl(const fpga::ElaboratedDelayLine& line, int k = 1);
+
+/// Widest effective bin across all lines of an elaborated TRNG at
+/// down-sampling k, plus `ff_margin_ps` of per-FF sampling-offset margin
+/// on each boundary (2 * margin total).
+Picoseconds worst_bin_width_ps(const fpga::ElaboratedTrng& elaborated, int k,
+                               Picoseconds ff_margin_ps = 0.0);
+
+/// Conservative entropy lower bound for a die with non-equidistant bins:
+/// the folded model evaluated with t_step = worst bin width and wrap = the
+/// die's mean stage delay. Always <= the equidistant-bin bound.
+double dnl_aware_entropy_bound(const StochasticModel& model,
+                               const fpga::ElaboratedTrng& elaborated,
+                               Picoseconds t_a_ps, int k,
+                               Picoseconds ff_margin_ps = 0.0);
+
+}  // namespace trng::model

@@ -1,0 +1,55 @@
+// Platform-parameter measurement procedures (paper Section 5.1), executed
+// against the *simulated* fabric exactly the way the paper runs them against
+// silicon:
+//
+//   * d0,LUT  — implement a ring oscillator and count transitions within a
+//     fixed time window: d0 = window / transitions.
+//   * t_step  — capture a slow oscillator in a long carry chain and count
+//     TDC taps per oscillator half-period: t_step = half_period / taps.
+//   * sigma_LUT — the differential dual-oscillator method: two identical
+//     ring oscillators placed side by side are enabled for ~20 ns and both
+//     captured in carry-chain TDCs; the spread of the *difference* of their
+//     edge positions over many repetitions isolates the white jitter
+//     (common-mode supply noise cancels; the short window keeps flicker
+//     negligible): sigma_LUT = std(diff)/sqrt(2) * sqrt(d0 / t_acc).
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "fpga/fabric.hpp"
+
+namespace trng::model {
+
+class PlatformMeasurement {
+ public:
+  /// Measurements run on `fabric` (kept by reference; must outlive this).
+  /// `seed` drives the noise realizations of the measurement runs.
+  PlatformMeasurement(const fpga::Fabric& fabric, std::uint64_t seed);
+
+  /// d0,LUT via transition counting. `ro_stages` is the test oscillator
+  /// length, `duration_ps` the counting window (default 1 us, short enough
+  /// to keep flicker out of the average per the paper's guidance).
+  Picoseconds measure_lut_delay(int ro_stages = 3,
+                                Picoseconds duration_ps = 1.0e6) const;
+
+  /// t_step via taps-per-half-period in a long carry chain fed by a
+  /// single-LUT oscillator. `line_carry4s` sets the chain length (must give
+  /// the chain more depth than one half-period); `captures` snapshots are
+  /// averaged.
+  Picoseconds measure_t_step(int line_carry4s = 32, int captures = 256) const;
+
+  /// sigma_LUT via the differential dual-oscillator method: `reps`
+  /// repetitions of `t_acc_ps` accumulation (paper: 1000 reps of 20 ns).
+  Picoseconds measure_jitter_sigma(int reps = 1000,
+                                   Picoseconds t_acc_ps = 20000.0) const;
+
+  /// Runs all three procedures and packages the result for the model.
+  core::PlatformParams measure_all() const;
+
+ private:
+  const fpga::Fabric& fabric_;
+  std::uint64_t seed_;
+};
+
+}  // namespace trng::model

@@ -1,0 +1,105 @@
+// The paper's stochastic model (Section 4): a lower bound on Shannon
+// entropy per raw bit from platform parameters (d0,LUT, t_step, sigma_LUT)
+// and design parameters (k, t_A, n_p).
+//
+//   Eq. 1  sigma_acc(t_A) = sigma_LUT * sqrt(t_A / d0)
+//   Eq. 3  P1(tau) = sum_i Phi((tau - (2i - 1/2) t) / sigma)
+//                  - Phi((tau - (2i + 1/2) t) / sigma),   t = k * t_step
+//   Eq. 5  H = -P1 log2 P1 - P0 log2 P0
+//   Eq. 6  b = max(P1, P0) - 1/2
+//   Eq. 7  b_pp = 2^(n_p - 1) * b^n_p
+//   Eq. 8  throughput gain = (d0 / (k t_step))^2
+//
+// tau is the offset between the mean position of the noisy edge and the
+// center of the nearest TDC bin; the bound is evaluated at the worst case
+// tau = 0 (edge parked on a bin center, Figure 7).
+#pragma once
+
+#include "common/types.hpp"
+#include "core/config.hpp"
+
+namespace trng::model {
+
+class StochasticModel {
+ public:
+  /// Throws std::invalid_argument via PlatformParams::validate().
+  explicit StochasticModel(core::PlatformParams platform);
+
+  const core::PlatformParams& platform() const { return platform_; }
+
+  /// Eq. 1: accumulated white jitter after t_A of free running.
+  Picoseconds sigma_acc(Picoseconds t_a_ps) const;
+
+  /// Eq. 3: probability that the sampled bin decodes to '1', for an edge
+  /// whose mean sits `tau_ps` from the nearest '1'-bin center and whose
+  /// jitter is `sigma_ps`. `k` widens the effective bin to k * t_step.
+  /// Exact in the sigma -> 0 limit (indicator of the center bin).
+  double p_one(Picoseconds tau_ps, Picoseconds sigma_ps, int k = 1) const;
+
+  /// Eq. 5 at a given tau: Shannon entropy of one raw bit.
+  double shannon_entropy(Picoseconds tau_ps, Picoseconds t_a_ps,
+                         int k = 1) const;
+
+  /// Worst-case (tau = 0) lower bound of Eq. 5 — the H_RAW of Table 1.
+  double entropy_lower_bound(Picoseconds t_a_ps, int k = 1) const;
+
+  /// Eq. 6 at worst case tau = 0.
+  double worst_case_bias(Picoseconds t_a_ps, int k = 1) const;
+
+  /// Eq. 7: bias after XOR post-processing with rate np.
+  static double xor_bias(double bias, unsigned np);
+
+  /// Entropy of one post-processed bit: H(1/2 + b_pp) — the H_NEW of
+  /// Table 1.
+  double entropy_after_postprocessing(Picoseconds t_a_ps, int k,
+                                      unsigned np) const;
+
+  /// Eq. 8: throughput improvement of TDC extraction over elementary
+  /// sampling at resolution d0 — (d0 / (k t_step))^2.
+  double improvement_factor(int k = 1) const;
+
+  // ---- Folded (wrap-aware) extension ----------------------------------
+  //
+  // The paper's Eq. 3 treats the TDC as an unbounded axis of alternating
+  // bins. The real extractor decodes the FIRST edge, and because every
+  // oscillator tap feeds its own line, the observable edge position wraps
+  // with period d0 (one stage delay): when the monitored edge's position
+  // goes negative, the previous edge — one stage earlier — becomes the
+  // first edge, re-entering d0 later. When d0 / (k * t_step) is close to an
+  // EVEN integer, the wrapped image lands on the SAME output parity and
+  // the two probability masses add instead of alternating, pushing P1
+  // beyond Eq. 3's worst case. The folded model integrates the Gaussian
+  // against the true parity function of (x mod d0) and is a strict
+  // refinement of Eq. 3 (they coincide as d0 -> infinity).
+
+  /// P1 with wrap-around at `wrap_ps` (default: the platform d0).
+  /// `wrap_phase_ps` places the wrap boundaries at phase + n * wrap — the
+  /// alignment of the wrap relative to the bin grid is die-specific, so the
+  /// bound below scans it.
+  double p_one_folded(Picoseconds tau_ps, Picoseconds sigma_ps, int k = 1,
+                      Picoseconds wrap_ps = 0.0,
+                      Picoseconds wrap_phase_ps = 0.0) const;
+
+  /// Worst case over both tau (in [0, wrap)) and the wrap-boundary phase
+  /// (in [0, 2 k t_step)) of the folded model's Shannon entropy — the
+  /// sharpened, alignment-independent lower bound. `grid` sets the tau
+  /// resolution; phases are scanned at grid/32 points.
+  double folded_entropy_lower_bound(Picoseconds t_a_ps, int k = 1,
+                                    Picoseconds wrap_ps = 0.0,
+                                    int grid = 512) const;
+
+  /// Same worst-case scan for an explicitly supplied sigma — used by the
+  /// DNL-aware bound, where sigma comes from the true platform but the bin
+  /// width is the die's worst bin.
+  double folded_entropy_lower_bound_sigma(Picoseconds sigma_ps, int k,
+                                          Picoseconds wrap_ps,
+                                          int grid = 256) const;
+
+  /// Post-processed throughput f_clk / (N_A * n_p) in bits/s.
+  double throughput_bps(Cycles accumulation_cycles, unsigned np) const;
+
+ private:
+  core::PlatformParams platform_;
+};
+
+}  // namespace trng::model

@@ -1,0 +1,116 @@
+#include "sim/delay_line.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trng::sim {
+
+TappedDelayLineSim::TappedDelayLineSim(const fpga::ElaboratedDelayLine& timing,
+                                       const fpga::FlipFlopTimingSpec& ff_spec,
+                                       std::uint64_t seed)
+    : timing_(timing), ff_spec_(ff_spec), rng_(seed ^ 0x7D1ULL) {
+  if (timing_.tap_delay.empty()) {
+    throw std::invalid_argument("TappedDelayLineSim: empty line timing");
+  }
+  if (timing_.tap_delay.size() != timing_.cumulative_delay.size() ||
+      timing_.tap_delay.size() != timing_.ff_clock_skew.size()) {
+    throw std::invalid_argument("TappedDelayLineSim: inconsistent timing");
+  }
+  static_offset_.reserve(timing_.tap_delay.size());
+  for (std::size_t j = 0; j < timing_.tap_delay.size(); ++j) {
+    static_offset_.push_back(ff_spec_.static_offset_sigma_ps *
+                             rng_.next_gaussian());
+  }
+}
+
+Picoseconds TappedDelayLineSim::static_offset(int tap) const {
+  if (tap < 0 || tap >= taps()) {
+    throw std::out_of_range("TappedDelayLineSim::static_offset: bad tap");
+  }
+  return static_offset_[static_cast<std::size_t>(tap)];
+}
+
+Picoseconds TappedDelayLineSim::observation_time(int tap,
+                                                 Picoseconds t_clk) const {
+  if (tap < 0 || tap >= taps()) {
+    throw std::out_of_range("TappedDelayLineSim::observation_time: bad tap");
+  }
+  const auto j = static_cast<std::size_t>(tap);
+  return t_clk + timing_.ff_clock_skew[j] - timing_.cumulative_delay[j];
+}
+
+LineSnapshot TappedDelayLineSim::capture(const RingOscillator& source,
+                                         int stage, Picoseconds t_clk) {
+  LineSnapshot bits;
+  bits.reserve(static_cast<std::size_t>(taps()));
+  const Picoseconds half_aperture = ff_spec_.aperture_ps / 2.0;
+
+  for (int j = 0; j < taps(); ++j) {
+    const Picoseconds s = observation_time(j, t_clk) +
+                          static_offset_[static_cast<std::size_t>(j)] +
+                          ff_spec_.dynamic_jitter_sigma_ps * rng_.next_gaussian();
+    bool v = source.value_at(stage, s);
+
+    // Metastability: if an input edge sits inside the aperture the capture
+    // can resolve to either rail, with probability decaying exponentially in
+    // the edge distance.
+    const auto edges =
+        source.edges_in(stage, s - half_aperture, s + half_aperture);
+    if (!edges.empty()) {
+      Picoseconds nearest = half_aperture;
+      for (Picoseconds e : edges) {
+        nearest = std::min(nearest, std::fabs(e - s));
+      }
+      const double p_meta = std::exp(-nearest / ff_spec_.resolution_tau_ps);
+      if (rng_.next_double() < p_meta) {
+        v = rng_.next_double() < 0.5;
+        ++metastable_events_;
+      }
+    }
+    bits.push_back(v);
+  }
+  return bits;
+}
+
+std::vector<Picoseconds> TappedDelayLineSim::effective_bin_widths() const {
+  std::vector<Picoseconds> widths;
+  const int m = taps();
+  widths.reserve(static_cast<std::size_t>(m > 0 ? m - 1 : 0));
+  for (int j = 0; j + 1 < m; ++j) {
+    // s_j - s_{j+1}: observation_time differences are independent of t_clk.
+    widths.push_back(observation_time(j, 0.0) - observation_time(j + 1, 0.0));
+  }
+  return widths;
+}
+
+int count_edges(const LineSnapshot& snapshot) {
+  int edges = 0;
+  for (std::size_t j = 0; j + 1 < snapshot.size(); ++j) {
+    if (snapshot[j] != snapshot[j + 1]) ++edges;
+  }
+  return edges;
+}
+
+bool has_bubble(const LineSnapshot& snapshot) {
+  for (std::size_t j = 1; j + 1 < snapshot.size(); ++j) {
+    if (snapshot[j] != snapshot[j - 1] && snapshot[j] != snapshot[j + 1]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SnapshotClass classify_snapshots(const std::vector<LineSnapshot>& lines) {
+  int total_edges = 0;
+  bool bubble = false;
+  for (const auto& line : lines) {
+    total_edges += count_edges(line);
+    bubble = bubble || has_bubble(line);
+  }
+  if (bubble) return SnapshotClass::kBubbles;
+  if (total_edges == 0) return SnapshotClass::kNoEdge;
+  if (total_edges == 1) return SnapshotClass::kRegular;
+  return SnapshotClass::kDoubleEdge;
+}
+
+}  // namespace trng::sim

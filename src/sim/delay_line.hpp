@@ -1,0 +1,91 @@
+// Tapped-delay-line (carry-chain TDC) capture simulation.
+//
+// Flip-flop j of a line samples the line's signal as it existed
+// cumulative_delay[j] ago, at the FF's own effective clock edge
+// (ideal edge + clock-tree skew). In signal time the observation instant of
+// tap j is therefore
+//
+//     s_j = t_clk + ff_clock_skew[j] - cumulative_delay[j].
+//
+// s_j decreases with j — deeper taps look further into the past — and the
+// spacing s_j - s_{j+1} is the *effective bin width*, which inherits the
+// CARRY4 structural weights, process variation and clock-skew differences
+// (the non-linearity the paper fights with the single-clock-region
+// constraint and k=4 down-sampling).
+//
+// If an input edge lands inside a FF's metastability aperture the captured
+// bit resolves randomly — the mechanism that produces the "bubbles" of
+// Figure 4(c).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fpga/fabric.hpp"
+#include "fpga/primitives.hpp"
+#include "sim/ring_oscillator.hpp"
+
+namespace trng::sim {
+
+/// One captured TDC snapshot (the m flip-flop values of one line).
+using LineSnapshot = std::vector<bool>;
+
+class TappedDelayLineSim {
+ public:
+  TappedDelayLineSim(const fpga::ElaboratedDelayLine& timing,
+                     const fpga::FlipFlopTimingSpec& ff_spec,
+                     std::uint64_t seed);
+
+  /// Captures the line fed by `source` stage `stage` at clock edge `t_clk`.
+  /// `source` must already be advanced past t_clk + max skew.
+  LineSnapshot capture(const RingOscillator& source, int stage,
+                       Picoseconds t_clk);
+
+  /// Nominal observation instant of tap j in signal time (see file
+  /// comment), excluding the FF's static threshold offset and dynamic
+  /// jitter (use static_offset() for the former).
+  Picoseconds observation_time(int tap, Picoseconds t_clk) const;
+
+  /// Static threshold-induced sampling offset of tap j's flip-flop
+  /// (fixed per die, drawn at construction).
+  Picoseconds static_offset(int tap) const;
+
+  int taps() const { return static_cast<int>(timing_.tap_delay.size()); }
+
+  /// Effective bin widths s_j - s_{j+1} (size taps()-1); used by the
+  /// code-density / non-linearity analysis.
+  std::vector<Picoseconds> effective_bin_widths() const;
+
+  /// Number of metastable captures since construction (diagnostics).
+  std::uint64_t metastable_events() const { return metastable_events_; }
+
+ private:
+  fpga::ElaboratedDelayLine timing_;
+  fpga::FlipFlopTimingSpec ff_spec_;
+  common::Xoshiro256StarStar rng_;
+  std::vector<Picoseconds> static_offset_;  ///< per-FF, fixed per die
+  std::uint64_t metastable_events_ = 0;
+};
+
+/// Classification of a full multi-line snapshot, used to reproduce the
+/// phenomenology of Figure 4.
+enum class SnapshotClass {
+  kRegular,     ///< exactly one edge across all lines (Fig. 4a)
+  kDoubleEdge,  ///< two or more edges (Fig. 4b)
+  kBubbles,     ///< at least one 1-bit-wide glitch next to an edge (Fig. 4c)
+  kNoEdge,      ///< all lines constant — the "missed edge" failure (Sec. 5.2)
+};
+
+/// Counts 0->1/1->0 transitions in one line snapshot.
+int count_edges(const LineSnapshot& snapshot);
+
+/// True when the snapshot contains an isolated single-bit glitch
+/// (pattern 010 or 101 with the single bit differing from both neighbours).
+bool has_bubble(const LineSnapshot& snapshot);
+
+/// Classifies the set of line snapshots of one capture.
+SnapshotClass classify_snapshots(const std::vector<LineSnapshot>& lines);
+
+}  // namespace trng::sim

@@ -1,0 +1,83 @@
+// Noise taxonomy of the stochastic model (paper Section 4.1):
+//
+//   * white (thermal) noise — independent Gaussian jitter added to every
+//     transition through a delay element; the ONLY component the model
+//     credits with entropy,
+//   * flicker (1/f) noise — slowly-varying correlated delay component,
+//   * global noise — power-supply modulation common to all oscillators on
+//     the die (a deterministic tone plus a slow random walk),
+//
+// The model worst-cases everything non-white; the simulator implements all
+// of them so experiments can check that the model's bound stays a *lower*
+// bound when the non-white components are present.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace trng::sim {
+
+struct NoiseConfig {
+  /// Scales the fabric's per-stage white-noise sigma (1.0 = nominal die).
+  double white_sigma_scale = 1.0;
+
+  /// Stationary std-dev of the AR(1) flicker component added to each stage
+  /// traversal. Calibrated so flicker overtakes white jitter at ~1 us of
+  /// accumulation — matching the paper's warning that jitter measurements
+  /// must stay "order of 1 us or shorter, otherwise low frequency noise
+  /// becomes dominant" (Section 5.1).
+  Picoseconds flicker_sigma_ps = 0.05;
+
+  /// AR(1) correlation of the flicker component between consecutive
+  /// transitions (close to 1 => low-frequency).
+  double flicker_corr = 0.99998;
+
+  /// Relative amplitude of the supply tone (multiplies all delays).
+  double supply_amp_rel = 5.0e-5;
+
+  /// Frequency of the supply tone (switching regulator).
+  double supply_freq_hz = 1.1e6;
+
+  /// Std-dev of the supply random-walk increment per microsecond step,
+  /// as a relative delay multiplier.
+  double supply_walk_rel_per_step = 1.0e-5;
+
+  /// Convenience: a configuration with only white noise enabled — the
+  /// exact world the stochastic model describes.
+  static NoiseConfig white_only() {
+    NoiseConfig c;
+    c.flicker_sigma_ps = 0.0;
+    c.supply_amp_rel = 0.0;
+    c.supply_walk_rel_per_step = 0.0;
+    return c;
+  }
+};
+
+/// Common-mode supply/global noise: every delay element on the die sees the
+/// same multiplicative modulation. Shared (by reference) between all
+/// oscillators so differential measurements cancel it — which is exactly why
+/// the paper's jitter measurement is differential (Section 5.1).
+class SupplyNoise {
+ public:
+  SupplyNoise(const NoiseConfig& config, std::uint64_t seed);
+
+  /// Delay multiplier at absolute time `t` (monotone queries advance the
+  /// random-walk state lazily; out-of-order queries within the current step
+  /// are fine).
+  double multiplier_at(Picoseconds t);
+
+ private:
+  double amp_;
+  double omega_per_ps_;  ///< 2*pi*f in rad/ps
+  double phase_;
+  double walk_sigma_;
+  Picoseconds step_ps_ = 1.0e6;  ///< 1 us random-walk update step
+  std::int64_t current_step_ = 0;
+  double walk_value_ = 0.0;
+  double walk_prev_ = 0.0;
+  common::Xoshiro256StarStar rng_;
+};
+
+}  // namespace trng::sim

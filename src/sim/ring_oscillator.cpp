@@ -1,0 +1,133 @@
+#include "sim/ring_oscillator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trng::sim {
+
+RingOscillator::RingOscillator(std::vector<Picoseconds> stage_delays,
+                               Picoseconds white_sigma_ps,
+                               const NoiseConfig& noise, SupplyNoise* supply,
+                               std::uint64_t seed,
+                               Picoseconds history_window_ps)
+    : stage_delays_(std::move(stage_delays)),
+      white_sigma_(white_sigma_ps * noise.white_sigma_scale),
+      noise_(noise),
+      supply_(supply),
+      rng_(seed),
+      history_window_(history_window_ps) {
+  if (stage_delays_.empty()) {
+    throw std::invalid_argument("RingOscillator: need at least one stage");
+  }
+  for (Picoseconds d : stage_delays_) {
+    if (!(d > 0.0)) {
+      throw std::invalid_argument("RingOscillator: stage delays must be > 0");
+    }
+  }
+  toggles_.resize(stage_delays_.size());
+  value_.assign(stage_delays_.size(), true);
+}
+
+Picoseconds RingOscillator::mean_stage_delay() const {
+  Picoseconds sum = 0.0;
+  for (Picoseconds d : stage_delays_) sum += d;
+  return sum / static_cast<double>(stage_delays_.size());
+}
+
+Picoseconds RingOscillator::nominal_half_period() const {
+  Picoseconds sum = 0.0;
+  for (Picoseconds d : stage_delays_) sum += d;
+  return sum;
+}
+
+void RingOscillator::reset(Picoseconds t0) {
+  for (auto& q : toggles_) q.clear();
+  std::fill(value_.begin(), value_.end(), true);
+  running_ = true;
+  now_ = t0;
+  // ENABLE rises at t0: the NAND (stage 0) sees both inputs high and its
+  // output falls one stage delay later.
+  pending_stage_ = 0;
+  const double mult = supply_ ? supply_->multiplier_at(t0) : 1.0;
+  flicker_state_ = noise_.flicker_corr * flicker_state_ +
+                   std::sqrt(1.0 - noise_.flicker_corr * noise_.flicker_corr) *
+                       noise_.flicker_sigma_ps * rng_.next_gaussian();
+  pending_time_ = t0 + stage_delays_[0] * mult +
+                  white_sigma_ * rng_.next_gaussian() + flicker_state_;
+}
+
+void RingOscillator::advance_to(Picoseconds t) {
+  if (!running_) {
+    throw std::logic_error("RingOscillator::advance_to: call reset() first");
+  }
+  while (pending_time_ <= t) {
+    const int s = pending_stage_;
+    toggles_[static_cast<std::size_t>(s)].push_back(pending_time_);
+    value_[static_cast<std::size_t>(s)] = !value_[static_cast<std::size_t>(s)];
+    ++transitions_;
+
+    // Launch the transition into the next stage.
+    const int next = (s + 1) % stages();
+    const double mult = supply_ ? supply_->multiplier_at(pending_time_) : 1.0;
+    flicker_state_ =
+        noise_.flicker_corr * flicker_state_ +
+        std::sqrt(1.0 - noise_.flicker_corr * noise_.flicker_corr) *
+            noise_.flicker_sigma_ps * rng_.next_gaussian();
+    Picoseconds delay = stage_delays_[static_cast<std::size_t>(next)] * mult +
+                        white_sigma_ * rng_.next_gaussian() + flicker_state_;
+    // Physical floor: a gate cannot have non-positive propagation delay.
+    delay = std::max(delay, 0.05 * stage_delays_[static_cast<std::size_t>(next)]);
+    pending_stage_ = next;
+    pending_time_ += delay;
+  }
+  now_ = t;
+  prune_history();
+}
+
+void RingOscillator::prune_history() {
+  const Picoseconds cutoff = now_ - history_window_;
+  for (auto& q : toggles_) {
+    // Keep one toggle before the window so value_at can resolve the level
+    // at the window's left edge.
+    while (q.size() > 1 && q[1] < cutoff) q.pop_front();
+  }
+}
+
+bool RingOscillator::value_at(int stage, Picoseconds t) const {
+  if (stage < 0 || stage >= stages()) {
+    throw std::out_of_range("RingOscillator::value_at: bad stage");
+  }
+  if (t > now_) {
+    throw std::logic_error("RingOscillator::value_at: time not simulated yet");
+  }
+  if (t < now_ - history_window_) {
+    throw std::logic_error(
+        "RingOscillator::value_at: time before retained history window");
+  }
+  const auto& q = toggles_[static_cast<std::size_t>(stage)];
+  // Current value was flipped by all retained toggles; undo those after t.
+  const auto it = std::upper_bound(q.begin(), q.end(), t);
+  const auto after_t = static_cast<std::size_t>(q.end() - it);
+  bool v = value_[static_cast<std::size_t>(stage)];
+  if (after_t % 2 == 1) v = !v;
+  return v;
+}
+
+std::vector<Picoseconds> RingOscillator::edges_in(int stage, Picoseconds t0,
+                                                  Picoseconds t1) const {
+  if (stage < 0 || stage >= stages()) {
+    throw std::out_of_range("RingOscillator::edges_in: bad stage");
+  }
+  if (t1 > now_) {
+    throw std::logic_error("RingOscillator::edges_in: time not simulated yet");
+  }
+  const auto& q = toggles_[static_cast<std::size_t>(stage)];
+  std::vector<Picoseconds> out;
+  auto lo = std::lower_bound(q.begin(), q.end(), t0);
+  auto hi = std::upper_bound(q.begin(), q.end(), t1);
+  out.assign(lo, hi);
+  return out;
+}
+
+}  // namespace trng::sim

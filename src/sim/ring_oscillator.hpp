@@ -1,0 +1,91 @@
+// Event-based timing simulation of the free-running ring oscillator.
+//
+// Topology (paper Section 3): one NAND gate (stage 0, inverting, gated by
+// ENABLE) followed by n-1 non-inverting buffers; the last buffer output
+// closes the loop. With ENABLE low every stage output rests at '1'; on
+// ENABLE a single transition is launched and circulates forever, toggling
+// each stage output once per half-period (half-period = sum of stage
+// delays, ~n * d0).
+//
+// Every stage traversal adds:
+//   * the stage's static elaborated delay (process variation included),
+//   * a fresh white-noise Gaussian (the entropy-bearing jitter),
+//   * the oscillator's AR(1) flicker state,
+//   * the common-mode supply multiplier.
+//
+// The simulator keeps a bounded history of recent toggle times per stage so
+// the TDC can reconstruct the waveform a delay-line-depth into the past.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/noise.hpp"
+
+namespace trng::sim {
+
+class RingOscillator {
+ public:
+  /// `stage_delays` come from Fabric elaboration (one entry per stage);
+  /// `white_sigma_ps` is the per-traversal thermal jitter std-dev.
+  /// `supply` may be nullptr (no global noise) or shared across oscillators.
+  RingOscillator(std::vector<Picoseconds> stage_delays,
+                 Picoseconds white_sigma_ps, const NoiseConfig& noise,
+                 SupplyNoise* supply, std::uint64_t seed,
+                 Picoseconds history_window_ps = 6000.0);
+
+  int stages() const { return static_cast<int>(stage_delays_.size()); }
+  Picoseconds mean_stage_delay() const;
+  /// Noise-free half-period: sum of static stage delays.
+  Picoseconds nominal_half_period() const;
+
+  /// Restarts the oscillator: all outputs high, first transition launched
+  /// from the NAND at `t0` (ENABLE rising edge). Clears history; flicker
+  /// state persists across restarts (it is a property of the silicon).
+  void reset(Picoseconds t0);
+
+  /// Simulates all transitions with arrival time <= t.
+  void advance_to(Picoseconds t);
+
+  /// Output value of `stage` at time `t`. Requires advance_to(>= t) first
+  /// and t within the retained history window; throws std::logic_error
+  /// otherwise.
+  bool value_at(int stage, Picoseconds t) const;
+
+  /// Toggle times of `stage` inside [t0, t1] (ascending). Requires
+  /// t1 <= now(); a t0 older than the retained history window silently
+  /// clips to the window (only retained toggles are returned).
+  std::vector<Picoseconds> edges_in(int stage, Picoseconds t0,
+                                    Picoseconds t1) const;
+
+  /// Total transitions simulated since construction (all stages).
+  std::uint64_t transition_count() const { return transitions_; }
+
+  /// Time up to which the oscillator has been simulated.
+  Picoseconds now() const { return now_; }
+
+ private:
+  void prune_history();
+
+  std::vector<Picoseconds> stage_delays_;
+  Picoseconds white_sigma_;
+  NoiseConfig noise_;
+  SupplyNoise* supply_;  // not owned; may be null
+  common::Xoshiro256StarStar rng_;
+  Picoseconds history_window_;
+
+  // Dynamic state.
+  std::vector<std::deque<Picoseconds>> toggles_;  // per-stage toggle times
+  std::vector<bool> value_;                       // current output values
+  int pending_stage_ = 0;          // stage whose output toggles next
+  Picoseconds pending_time_ = 0.0; // when it toggles
+  bool running_ = false;
+  Picoseconds now_ = 0.0;
+  double flicker_state_ = 0.0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace trng::sim

@@ -1,0 +1,77 @@
+#include "sim/sampler.hpp"
+
+#include <stdexcept>
+
+namespace trng::sim {
+
+namespace {
+
+std::vector<Picoseconds> stage_delays_of(const fpga::ElaboratedTrng& e) {
+  return e.ro_stage_delay;
+}
+
+}  // namespace
+
+SampleController::SampleController(const fpga::ElaboratedTrng& elaborated,
+                                   const fpga::FlipFlopTimingSpec& ff_spec,
+                                   const NoiseConfig& noise, std::uint64_t seed,
+                                   SamplingMode mode,
+                                   Picoseconds clock_period_ps)
+    : noise_(noise),
+      supply_(noise, seed),
+      oscillator_(stage_delays_of(elaborated), elaborated.stage_white_sigma_ps,
+                  noise, &supply_, seed ^ 0x05C111A70ULL),
+      mode_(mode),
+      clock_period_(clock_period_ps) {
+  if (elaborated.lines.size() != elaborated.ro_stage_delay.size()) {
+    throw std::invalid_argument(
+        "SampleController: need one delay line per RO stage");
+  }
+  if (!(clock_period_ps > 0.0)) {
+    throw std::invalid_argument("SampleController: bad clock period");
+  }
+  lines_.reserve(elaborated.lines.size());
+  std::uint64_t line_seed = seed ^ 0x11E5ULL;
+  for (const auto& lt : elaborated.lines) {
+    lines_.emplace_back(lt, ff_spec, line_seed++);
+  }
+}
+
+CaptureResult SampleController::next_capture(Cycles accumulation_cycles) {
+  if (accumulation_cycles == 0) {
+    throw std::invalid_argument(
+        "SampleController::next_capture: accumulation_cycles must be >= 1");
+  }
+  const Picoseconds t_acc =
+      static_cast<double>(accumulation_cycles) * clock_period_;
+
+  if (mode_ == SamplingMode::kRestart || !started_) {
+    oscillator_.reset(cursor_);
+    started_ = true;
+  }
+  const Picoseconds t_sample = cursor_ + t_acc;
+
+  // Simulate past the sample instant far enough to cover the largest
+  // positive clock skew plus the metastability aperture.
+  oscillator_.advance_to(t_sample + 500.0);
+
+  CaptureResult result;
+  result.sample_time_ps = t_sample;
+  result.lines.reserve(lines_.size());
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    result.lines.push_back(
+        lines_[i].capture(oscillator_, static_cast<int>(i), t_sample));
+  }
+
+  // The next conversion starts at the following clock edge.
+  cursor_ = t_sample + clock_period_;
+  return result;
+}
+
+std::uint64_t SampleController::metastable_events() const {
+  std::uint64_t total = 0;
+  for (const auto& line : lines_) total += line.metastable_events();
+  return total;
+}
+
+}  // namespace trng::sim

@@ -1,0 +1,66 @@
+// SampleController: drives one simulated TRNG datapath through its
+// enable -> accumulate t_A -> capture cycle (paper Section 4.2: "the
+// oscillator is running for a time t_A, after which the sampling signal is
+// activated").
+//
+// Two operating modes:
+//   * restart (paper default): ENABLE is deasserted after every capture and
+//     the oscillator restarts from its deterministic reset phase, so each
+//     bit accumulates jitter for exactly t_A from a known phase;
+//   * free-running: the oscillator is never reset and is sampled every N_A
+//     cycles (an ablation mode — the edge phase then drifts slowly through
+//     the TDC bins, exercising the full tau range of Figure 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fpga/fabric.hpp"
+#include "sim/delay_line.hpp"
+#include "sim/noise.hpp"
+#include "sim/ring_oscillator.hpp"
+
+namespace trng::sim {
+
+/// One full conversion: the snapshots of all n delay lines.
+struct CaptureResult {
+  std::vector<LineSnapshot> lines;
+  Picoseconds sample_time_ps = 0.0;
+};
+
+enum class SamplingMode { kRestart, kFreeRunning };
+
+class SampleController {
+ public:
+  /// `elaborated` comes from Fabric::elaborate; one delay line per RO stage.
+  SampleController(const fpga::ElaboratedTrng& elaborated,
+                   const fpga::FlipFlopTimingSpec& ff_spec,
+                   const NoiseConfig& noise, std::uint64_t seed,
+                   SamplingMode mode = SamplingMode::kRestart,
+                   Picoseconds clock_period_ps =
+                       constants::kSystemClockPeriodPs);
+
+  /// Runs one conversion with `accumulation_cycles` system-clock cycles of
+  /// jitter accumulation (t_A = N_A * T_clk) and returns the captured
+  /// snapshots. Throws std::invalid_argument if accumulation_cycles == 0.
+  CaptureResult next_capture(Cycles accumulation_cycles);
+
+  const RingOscillator& oscillator() const { return oscillator_; }
+  SamplingMode mode() const { return mode_; }
+
+  /// Sum of metastable captures across all lines (diagnostics).
+  std::uint64_t metastable_events() const;
+
+ private:
+  NoiseConfig noise_;
+  SupplyNoise supply_;
+  RingOscillator oscillator_;
+  std::vector<TappedDelayLineSim> lines_;
+  SamplingMode mode_;
+  Picoseconds clock_period_;
+  Picoseconds cursor_ = 0.0;  ///< current absolute time (cycle-aligned)
+  bool started_ = false;
+};
+
+}  // namespace trng::sim

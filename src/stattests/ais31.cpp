@@ -1,0 +1,291 @@
+#include "stattests/ais31.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace trng::stat::ais31 {
+
+Ais31Result t0_disjointness(const common::BitStream& bits) {
+  Ais31Result r;
+  r.name = "T0_disjointness";
+  constexpr std::size_t kWords = 65536;
+  constexpr unsigned kWordBits = 48;
+  if (bits.size() < kWords * kWordBits) {
+    r.applicable = false;
+    r.note = "requires 65536 x 48 bits";
+    return r;
+  }
+  std::vector<std::uint64_t> words;
+  words.reserve(kWords);
+  for (std::size_t w = 0; w < kWords; ++w) {
+    std::uint64_t v = 0;
+    for (unsigned j = 0; j < kWordBits; ++j) {
+      v = (v << 1) | (bits[w * kWordBits + j] ? 1u : 0u);
+    }
+    words.push_back(v);
+  }
+  std::sort(words.begin(), words.end());
+  r.passed = std::adjacent_find(words.begin(), words.end()) == words.end();
+  r.statistic = static_cast<double>(kWords);
+  return r;
+}
+
+Ais31Result t1_monobit(const common::BitStream& bits) {
+  Ais31Result r;
+  r.name = "T1_monobit";
+  constexpr std::size_t kN = 20000;
+  if (bits.size() < kN) {
+    r.applicable = false;
+    r.note = "requires 20000 bits";
+    return r;
+  }
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < kN; ++i) ones += bits[i] ? 1 : 0;
+  r.statistic = static_cast<double>(ones);
+  r.passed = ones > 9654 && ones < 10346;
+  return r;
+}
+
+Ais31Result t2_poker(const common::BitStream& bits) {
+  Ais31Result r;
+  r.name = "T2_poker";
+  constexpr std::size_t kN = 20000;
+  if (bits.size() < kN) {
+    r.applicable = false;
+    r.note = "requires 20000 bits";
+    return r;
+  }
+  std::size_t f[16] = {};
+  for (std::size_t b = 0; b < kN / 4; ++b) {
+    unsigned v = 0;
+    for (unsigned j = 0; j < 4; ++j) {
+      v = (v << 1) | (bits[b * 4 + j] ? 1u : 0u);
+    }
+    ++f[v];
+  }
+  double sum = 0.0;
+  for (std::size_t v = 0; v < 16; ++v) {
+    sum += static_cast<double>(f[v]) * static_cast<double>(f[v]);
+  }
+  const double x = 16.0 / 5000.0 * sum - 5000.0;
+  r.statistic = x;
+  r.passed = x > 1.03 && x < 57.4;
+  return r;
+}
+
+Ais31Result t3_runs(const common::BitStream& bits) {
+  Ais31Result r;
+  r.name = "T3_runs";
+  constexpr std::size_t kN = 20000;
+  if (bits.size() < kN) {
+    r.applicable = false;
+    r.note = "requires 20000 bits";
+    return r;
+  }
+  // runs[value][len], len capped at 6 ("6 or longer").
+  std::size_t runs[2][7] = {};
+  std::size_t run_len = 1;
+  for (std::size_t i = 1; i <= kN; ++i) {
+    if (i < kN && bits[i] == bits[i - 1]) {
+      ++run_len;
+    } else {
+      const std::size_t len = std::min<std::size_t>(run_len, 6);
+      ++runs[bits[i - 1] ? 1 : 0][len];
+      run_len = 1;
+    }
+  }
+  static constexpr std::size_t kLo[7] = {0, 2267, 1079, 502, 223, 90, 90};
+  static constexpr std::size_t kHi[7] = {0, 2733, 1421, 748, 402, 223, 223};
+  r.passed = true;
+  for (int v = 0; v < 2; ++v) {
+    for (std::size_t len = 1; len <= 6; ++len) {
+      if (runs[v][len] < kLo[len] || runs[v][len] > kHi[len]) {
+        r.passed = false;
+      }
+    }
+  }
+  return r;
+}
+
+Ais31Result t4_long_run(const common::BitStream& bits) {
+  Ais31Result r;
+  r.name = "T4_long_run";
+  constexpr std::size_t kN = 20000;
+  if (bits.size() < kN) {
+    r.applicable = false;
+    r.note = "requires 20000 bits";
+    return r;
+  }
+  std::size_t run = 1;
+  std::size_t longest = 1;
+  for (std::size_t i = 1; i < kN; ++i) {
+    run = (bits[i] == bits[i - 1]) ? run + 1 : 1;
+    longest = std::max(longest, run);
+  }
+  r.statistic = static_cast<double>(longest);
+  r.passed = longest < 34;
+  return r;
+}
+
+Ais31Result t5_autocorrelation(const common::BitStream& bits) {
+  Ais31Result r;
+  r.name = "T5_autocorrelation";
+  constexpr std::size_t kHalf = 10000;
+  if (bits.size() < 2 * kHalf) {
+    r.applicable = false;
+    r.note = "requires 20000 bits";
+    return r;
+  }
+  // Phase 1: the shift with the worst deviation on the first 10000 bits.
+  std::size_t worst_tau = 1;
+  double worst_dev = -1.0;
+  for (std::size_t tau = 1; tau <= kHalf / 2; ++tau) {
+    std::size_t z = 0;
+    for (std::size_t i = 0; i < kHalf / 2; ++i) {
+      z += (bits[i] != bits[i + tau]) ? 1 : 0;
+    }
+    const double dev = std::fabs(static_cast<double>(z) - 2500.0);
+    if (dev > worst_dev) {
+      worst_dev = dev;
+      worst_tau = tau;
+    }
+  }
+  // Phase 2: test that shift on the second 10000 bits.
+  std::size_t z = 0;
+  for (std::size_t i = kHalf; i < kHalf + kHalf / 2; ++i) {
+    z += (bits[i] != bits[i + worst_tau]) ? 1 : 0;
+  }
+  r.statistic = static_cast<double>(z);
+  r.note = "tau = " + std::to_string(worst_tau);
+  r.passed = z > 2326 && z < 2674;
+  return r;
+}
+
+Ais31Result t6_uniform_distribution(const common::BitStream& bits) {
+  Ais31Result r;
+  r.name = "T6_uniform_distribution";
+  constexpr std::size_t kN = 100000;
+  if (bits.size() < kN) {
+    r.applicable = false;
+    r.note = "requires 100000 bits";
+    return r;
+  }
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < kN; ++i) ones += bits[i] ? 1 : 0;
+  const double p1 = static_cast<double>(ones) / static_cast<double>(kN);
+  r.statistic = p1;
+  r.passed = std::fabs(p1 - 0.5) < 0.025;
+  return r;
+}
+
+Ais31Result t7_homogeneity(const common::BitStream& bits) {
+  Ais31Result r;
+  r.name = "T7_homogeneity";
+  constexpr std::size_t kN = 100000;
+  if (bits.size() < kN + 1) {
+    r.applicable = false;
+    r.note = "requires 100001 bits";
+    return r;
+  }
+  // Two-sample chi-square: do transitions out of state 0 and state 1 have
+  // the same distribution of next bit?
+  double c[2][2] = {};
+  for (std::size_t i = 0; i < kN; ++i) {
+    c[bits[i] ? 1 : 0][bits[i + 1] ? 1 : 0] += 1.0;
+  }
+  const double row0 = c[0][0] + c[0][1];
+  const double row1 = c[1][0] + c[1][1];
+  if (row0 < 100.0 || row1 < 100.0) {
+    r.applicable = false;
+    r.note = "one state almost never occurs";
+    return r;
+  }
+  double chi2 = 0.0;
+  for (int b = 0; b < 2; ++b) {
+    const double col = c[0][b] + c[1][b];
+    const double e0 = row0 * col / (row0 + row1);
+    const double e1 = row1 * col / (row0 + row1);
+    if (e0 > 0.0) chi2 += (c[0][b] - e0) * (c[0][b] - e0) / e0;
+    if (e1 > 0.0) chi2 += (c[1][b] - e1) * (c[1][b] - e1) / e1;
+  }
+  r.statistic = chi2;
+  r.passed = chi2 < 15.13;  // chi^2, 1 dof, alpha = 1e-4
+  return r;
+}
+
+Ais31Result t8_entropy(const common::BitStream& bits, unsigned word_len,
+                       std::size_t q, std::size_t k) {
+  Ais31Result r;
+  r.name = "T8_entropy";
+  if (word_len < 1 || word_len > 16 || q < (1u << word_len)) {
+    r.applicable = false;
+    r.note = "bad parameters";
+    return r;
+  }
+  if (bits.size() < (q + k) * word_len) {
+    r.applicable = false;
+    r.note = "requires (Q+K)*L bits";
+    return r;
+  }
+  // Coron's estimator: g(i) = (1/ln 2) * sum_{j=1}^{i-1} 1/j, applied to
+  // the distance since the previous occurrence of each word.
+  std::vector<double> g((q + k) + 1, 0.0);
+  double harmonic = 0.0;
+  g[1] = 0.0;
+  for (std::size_t i = 2; i < g.size(); ++i) {
+    harmonic += 1.0 / static_cast<double>(i - 1);
+    g[i] = harmonic / std::log(2.0);
+  }
+
+  std::vector<std::size_t> last(1u << word_len, 0);
+  auto word_at = [&](std::size_t idx) {
+    std::uint32_t v = 0;
+    for (unsigned j = 0; j < word_len; ++j) {
+      v = (v << 1) | (bits[idx * word_len + j] ? 1u : 0u);
+    }
+    return v;
+  };
+  for (std::size_t i = 0; i < q; ++i) last[word_at(i)] = i + 1;
+  double sum = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = q; i < q + k; ++i) {
+    const std::uint32_t w = word_at(i);
+    if (last[w] != 0) {
+      sum += g[i + 1 - last[w]];
+      ++used;
+    } else {
+      sum += g[i + 1];  // never seen: distance to sequence start
+      ++used;
+    }
+    last[w] = i + 1;
+  }
+  r.statistic = sum / static_cast<double>(used);
+  // AIS-31 bound for L = 8: f > 7.976 corresponds to > 0.997 entropy/bit.
+  const double bound = word_len == 8 ? 7.976 : 0.997 * word_len;
+  r.passed = r.statistic > bound;
+  return r;
+}
+
+bool procedure_b(const common::BitStream& bits) {
+  const Ais31Result results[] = {t6_uniform_distribution(bits),
+                                 t7_homogeneity(bits), t8_entropy(bits)};
+  for (const auto& r : results) {
+    if (r.applicable && !r.passed) return false;
+  }
+  return true;
+}
+
+bool procedure_a(const common::BitStream& bits) {
+  const Ais31Result results[] = {
+      t0_disjointness(bits), t1_monobit(bits), t2_poker(bits),
+      t3_runs(bits),         t4_long_run(bits), t5_autocorrelation(bits),
+      t8_entropy(bits)};
+  for (const auto& r : results) {
+    if (r.applicable && !r.passed) return false;
+  }
+  return true;
+}
+
+}  // namespace trng::stat::ais31

@@ -1,0 +1,73 @@
+// AIS-31 (Killmann & Schindler, "A proposal for: Functionality classes for
+// random number generators") statistical tests — the evaluation framework
+// the paper designs for (Section 2).
+//
+// Procedure A tests implemented for binary sequences:
+//   T0 disjointness, T1 monobit, T2 poker, T3 runs, T4 long run
+//   (the FIPS 140-1 quartet), T5 autocorrelation, and
+//   T8 Coron's entropy estimator (the P2/"K4" entropy requirement).
+// T6/T7 apply to multi-bit internal random numbers and are out of scope for
+// a 1-bit-per-sample generator.
+//
+// These are threshold tests (pass/fail against tabulated bounds), not
+// p-value tests, so they return a dedicated result type.
+#pragma once
+
+#include <string>
+
+#include "common/bitstream.hpp"
+
+namespace trng::stat::ais31 {
+
+struct Ais31Result {
+  std::string name;
+  bool applicable = true;
+  bool passed = false;
+  double statistic = 0.0;
+  std::string note;
+};
+
+/// T0: the first 65536 non-overlapping 48-bit words must be pairwise
+/// distinct. Requires 65536 * 48 bits.
+Ais31Result t0_disjointness(const common::BitStream& bits);
+
+/// T1: ones count of 20000 bits in (9654, 10346).
+Ais31Result t1_monobit(const common::BitStream& bits);
+
+/// T2: poker test on 20000 bits (4-bit blocks), 1.03 < X < 57.4.
+Ais31Result t2_poker(const common::BitStream& bits);
+
+/// T3: run-length distribution of 20000 bits within tabulated bounds.
+Ais31Result t3_runs(const common::BitStream& bits);
+
+/// T4: no run of length >= 34 within 20000 bits.
+Ais31Result t4_long_run(const common::BitStream& bits);
+
+/// T5: autocorrelation. Phase 1 finds the worst shift tau in [1, 5000] on
+/// the first 10000 bits; phase 2 tests that tau on the next 10000 bits
+/// against 2326 < Z < 2674. Requires 20000 bits.
+Ais31Result t5_autocorrelation(const common::BitStream& bits);
+
+/// T6: uniform-distribution test on the raw binary signal (AIS-31
+/// procedure B, specialized to 1-bit samples): |p_hat(1) - 1/2| < 0.025
+/// over 100000 bits.
+Ais31Result t6_uniform_distribution(const common::BitStream& bits);
+
+/// T7: comparative test for multinomial distributions (homogeneity of the
+/// two transition distributions P(.|0) and P(.|1)): two-sample chi-square
+/// over 100000 transitions, threshold 15.13 (chi^2_1 at alpha = 1e-4).
+Ais31Result t7_homogeneity(const common::BitStream& bits);
+
+/// T8: Coron's entropy estimator on 8-bit words, Q = 2560 initialization
+/// and K = 256000 test words (needs (Q+K)*8 bits); passes when the
+/// statistic exceeds 7.976 (AIS-31 K4/P2 bound).
+Ais31Result t8_entropy(const common::BitStream& bits, unsigned word_len = 8,
+                       std::size_t q = 2560, std::size_t k = 256000);
+
+/// Runs T0-T5 and T8 and returns the conjunction of the applicable tests.
+bool procedure_a(const common::BitStream& bits);
+
+/// AIS-31 procedure B for a binary raw signal: T6, T7, T8.
+bool procedure_b(const common::BitStream& bits);
+
+}  // namespace trng::stat::ais31

@@ -1,0 +1,74 @@
+#include "stattests/battery.hpp"
+
+#include <stdexcept>
+
+#include "stattests/sp800_22.hpp"
+
+namespace trng::stat {
+
+bool BatteryReport::all_passed(double alpha) const {
+  for (const auto& r : results) {
+    if (r.applicable && !r.passed(alpha)) return false;
+  }
+  return true;
+}
+
+std::size_t BatteryReport::failed_count(double alpha) const {
+  std::size_t fails = 0;
+  for (const auto& r : results) {
+    if (r.applicable && !r.passed(alpha)) ++fails;
+  }
+  return fails;
+}
+
+std::size_t BatteryReport::applicable_count() const {
+  std::size_t n = 0;
+  for (const auto& r : results) {
+    if (r.applicable) ++n;
+  }
+  return n;
+}
+
+TestBattery::TestBattery(Options options) : options_(options) {
+  if (!(options_.alpha > 0.0) || options_.alpha >= 1.0) {
+    throw std::invalid_argument("TestBattery: alpha must be in (0, 1)");
+  }
+}
+
+BatteryReport TestBattery::run(const common::BitStream& bits) const {
+  BatteryReport report;
+  report.results.push_back(frequency_test(bits));
+  report.results.push_back(block_frequency_test(bits));
+  report.results.push_back(runs_test(bits));
+  report.results.push_back(longest_run_test(bits));
+  report.results.push_back(cumulative_sums_test(bits));
+  report.results.push_back(serial_test(bits));
+  report.results.push_back(approximate_entropy_test(bits));
+  report.results.push_back(random_excursions_test(bits));
+  report.results.push_back(random_excursions_variant_test(bits));
+  if (options_.include_slow) {
+    report.results.push_back(rank_test(bits));
+    report.results.push_back(dft_test(bits));
+    report.results.push_back(non_overlapping_template_test(bits));
+    report.results.push_back(overlapping_template_test(bits));
+    report.results.push_back(universal_test(bits));
+    report.results.push_back(linear_complexity_test(bits));
+  }
+  return report;
+}
+
+std::optional<unsigned> TestBattery::min_passing_np(const RawSource& source,
+                                                    std::size_t test_bits,
+                                                    unsigned max_np) const {
+  if (!source || test_bits < 20000 || max_np == 0) {
+    throw std::invalid_argument("min_passing_np: bad arguments");
+  }
+  for (unsigned np = 1; np <= max_np; ++np) {
+    const common::BitStream raw = source(test_bits * np);
+    const BatteryReport report = run(raw.xor_fold(np));
+    if (report.all_passed(options_.alpha)) return np;
+  }
+  return std::nullopt;
+}
+
+}  // namespace trng::stat

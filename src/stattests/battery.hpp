@@ -1,0 +1,57 @@
+// Battery runner: all fifteen SP 800-22 tests on one sequence, plus the
+// paper's n_NIST search — the minimal XOR compression rate such that the
+// compressed output passes every applicable test (Table 1's n_NIST column).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/bitstream.hpp"
+#include "stattests/test_result.hpp"
+
+namespace trng::stat {
+
+struct BatteryReport {
+  std::vector<TestResult> results;
+
+  bool all_passed(double alpha = 0.01) const;
+  std::size_t failed_count(double alpha = 0.01) const;
+  std::size_t applicable_count() const;
+};
+
+class TestBattery {
+ public:
+  struct Options {
+    double alpha = 0.01;
+    /// Include the heavyweight tests (DFT, linear complexity, universal,
+    /// templates). Disable for fast smoke runs.
+    bool include_slow = true;
+  };
+
+  TestBattery() : TestBattery(Options{}) {}
+  explicit TestBattery(Options options);
+
+  /// Runs every test on `bits`. Tests whose prerequisites `bits` does not
+  /// meet are reported with applicable = false.
+  BatteryReport run(const common::BitStream& bits) const;
+
+  /// Streaming source of raw bits: invoked with a bit count, returns that
+  /// many fresh raw bits from the generator under test.
+  using RawSource = std::function<common::BitStream(std::size_t)>;
+
+  /// The paper's n_NIST: smallest np in [1, max_np] such that the XOR-
+  /// compressed output passes all applicable tests. Each candidate np
+  /// consumes test_bits * np fresh raw bits. Returns nullopt when even
+  /// max_np fails (Table 1 reports this as "> max_np").
+  std::optional<unsigned> min_passing_np(const RawSource& source,
+                                         std::size_t test_bits,
+                                         unsigned max_np = 16) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace trng::stat

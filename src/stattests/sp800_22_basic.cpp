@@ -1,0 +1,190 @@
+// SP 800-22 tests 2.1-2.4 and 2.13: frequency, block frequency, runs,
+// longest run of ones, cumulative sums.
+#include <cmath>
+#include <vector>
+
+#include "common/gaussian.hpp"
+#include "common/special.hpp"
+#include "stattests/sp800_22.hpp"
+
+namespace trng::stat {
+
+TestResult frequency_test(const common::BitStream& bits) {
+  TestResult r;
+  r.name = "frequency";
+  const std::size_t n = bits.size();
+  if (n < 100) {
+    r.applicable = false;
+    r.note = "requires n >= 100";
+    return r;
+  }
+  const double ones = static_cast<double>(bits.count_ones());
+  const double s_n = 2.0 * ones - static_cast<double>(n);  // sum of +-1
+  const double s_obs = std::fabs(s_n) / std::sqrt(static_cast<double>(n));
+  r.p_values.push_back(std::erfc(s_obs / std::sqrt(2.0)));
+  return r;
+}
+
+TestResult block_frequency_test(const common::BitStream& bits,
+                                std::size_t block_len) {
+  TestResult r;
+  r.name = "block_frequency";
+  const std::size_t n = bits.size();
+  const std::size_t big_n = block_len == 0 ? 0 : n / block_len;
+  if (n < 100 || big_n == 0) {
+    r.applicable = false;
+    r.note = "requires n >= 100 and at least one block";
+    return r;
+  }
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < big_n; ++b) {
+    std::size_t ones = 0;
+    for (std::size_t j = 0; j < block_len; ++j) {
+      ones += bits[b * block_len + j] ? 1 : 0;
+    }
+    const double pi =
+        static_cast<double>(ones) / static_cast<double>(block_len);
+    chi2 += (pi - 0.5) * (pi - 0.5);
+  }
+  chi2 *= 4.0 * static_cast<double>(block_len);
+  r.p_values.push_back(
+      common::igamc(static_cast<double>(big_n) / 2.0, chi2 / 2.0));
+  return r;
+}
+
+TestResult runs_test(const common::BitStream& bits) {
+  TestResult r;
+  r.name = "runs";
+  const std::size_t n = bits.size();
+  if (n < 100) {
+    r.applicable = false;
+    r.note = "requires n >= 100";
+    return r;
+  }
+  const double pi = bits.ones_fraction();
+  const double tau = 2.0 / std::sqrt(static_cast<double>(n));
+  if (std::fabs(pi - 0.5) >= tau) {
+    // Frequency prerequisite failed: the spec assigns p = 0.
+    r.p_values.push_back(0.0);
+    r.note = "monobit prerequisite failed";
+    return r;
+  }
+  std::size_t v_n = 1;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    if (bits[k] != bits[k + 1]) ++v_n;
+  }
+  const double nn = static_cast<double>(n);
+  const double num = std::fabs(static_cast<double>(v_n) - 2.0 * nn * pi * (1.0 - pi));
+  const double den = 2.0 * std::sqrt(2.0 * nn) * pi * (1.0 - pi);
+  r.p_values.push_back(std::erfc(num / den));
+  return r;
+}
+
+TestResult longest_run_test(const common::BitStream& bits) {
+  TestResult r;
+  r.name = "longest_run";
+  const std::size_t n = bits.size();
+  if (n < 128) {
+    r.applicable = false;
+    r.note = "requires n >= 128";
+    return r;
+  }
+  std::size_t block_len;
+  std::vector<unsigned> thresholds;  // category boundaries (inclusive low)
+  std::vector<double> pi;
+  if (n < 6272) {
+    block_len = 8;
+    thresholds = {1, 2, 3, 4};  // <=1, 2, 3, >=4
+    pi = {0.2148, 0.3672, 0.2305, 0.1875};
+  } else if (n < 750000) {
+    block_len = 128;
+    thresholds = {4, 5, 6, 7, 8, 9};  // <=4 .. >=9
+    pi = {0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124};
+  } else {
+    block_len = 10000;
+    thresholds = {10, 11, 12, 13, 14, 15, 16};  // <=10 .. >=16
+    pi = {0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727};
+  }
+  const std::size_t big_n = n / block_len;
+  std::vector<std::size_t> v(pi.size(), 0);
+  for (std::size_t b = 0; b < big_n; ++b) {
+    unsigned longest = 0;
+    unsigned run = 0;
+    for (std::size_t j = 0; j < block_len; ++j) {
+      if (bits[b * block_len + j]) {
+        ++run;
+        longest = std::max(longest, run);
+      } else {
+        run = 0;
+      }
+    }
+    // Map the longest run to its category.
+    std::size_t cat = 0;
+    while (cat + 1 < thresholds.size() && longest > thresholds[cat]) ++cat;
+    if (longest >= thresholds.back()) cat = thresholds.size() - 1;
+    ++v[cat];
+  }
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    const double expected = static_cast<double>(big_n) * pi[i];
+    const double d = static_cast<double>(v[i]) - expected;
+    chi2 += d * d / expected;
+  }
+  const double k = static_cast<double>(pi.size() - 1);
+  r.p_values.push_back(common::igamc(k / 2.0, chi2 / 2.0));
+  return r;
+}
+
+namespace {
+
+/// Cumulative-sums p-value for maximum partial-sum excursion z over n bits.
+double cusum_p_value(double z, double n) {
+  const double sqrt_n = std::sqrt(n);
+  double p = 1.0;
+  const long k_lo1 = static_cast<long>(std::floor((-n / z + 1.0) / 4.0));
+  const long k_hi1 = static_cast<long>(std::floor((n / z - 1.0) / 4.0));
+  for (long k = k_lo1; k <= k_hi1; ++k) {
+    const double kk = static_cast<double>(k);
+    p -= common::normal_cdf((4.0 * kk + 1.0) * z / sqrt_n) -
+         common::normal_cdf((4.0 * kk - 1.0) * z / sqrt_n);
+  }
+  const long k_lo2 = static_cast<long>(std::floor((-n / z - 3.0) / 4.0));
+  const long k_hi2 = static_cast<long>(std::floor((n / z - 1.0) / 4.0));
+  for (long k = k_lo2; k <= k_hi2; ++k) {
+    const double kk = static_cast<double>(k);
+    p += common::normal_cdf((4.0 * kk + 3.0) * z / sqrt_n) -
+         common::normal_cdf((4.0 * kk + 1.0) * z / sqrt_n);
+  }
+  return std::min(1.0, std::max(0.0, p));
+}
+
+}  // namespace
+
+TestResult cumulative_sums_test(const common::BitStream& bits) {
+  TestResult r;
+  r.name = "cumulative_sums";
+  const std::size_t n = bits.size();
+  if (n < 100) {
+    r.applicable = false;
+    r.note = "requires n >= 100";
+    return r;
+  }
+  long s = 0;
+  long max_fwd = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += bits[i] ? 1 : -1;
+    max_fwd = std::max(max_fwd, std::labs(s));
+  }
+  long s_b = 0;
+  long max_bwd = 0;
+  for (std::size_t i = n; i-- > 0;) {
+    s_b += bits[i] ? 1 : -1;
+    max_bwd = std::max(max_bwd, std::labs(s_b));
+  }
+  const double nn = static_cast<double>(n);
+  r.p_values.push_back(cusum_p_value(static_cast<double>(max_fwd), nn));
+  r.p_values.push_back(cusum_p_value(static_cast<double>(max_bwd), nn));
+  return r;
+}
+
+}  // namespace trng::stat

@@ -1,0 +1,79 @@
+// SP 800-22 test 2.6: discrete Fourier transform (spectral) test.
+//
+// Deviation from the reference implementation: the transform length is the
+// largest power of two <= n (iterative radix-2 FFT) instead of an arbitrary-
+// length DFT; trailing bits beyond the power-of-two boundary are ignored.
+// The statistic is computed for the truncated length, so the test remains
+// exact — it just examines slightly fewer bits.
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "stattests/sp800_22.hpp"
+
+namespace trng::stat {
+
+namespace {
+
+void fft_in_place(std::vector<std::complex<double>>& a) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = -2.0 * 3.14159265358979323846 / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = a[i + j];
+        const std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TestResult dft_test(const common::BitStream& bits) {
+  TestResult r;
+  r.name = "dft";
+  if (bits.size() < 1000) {
+    r.applicable = false;
+    r.note = "requires n >= 1000";
+    return r;
+  }
+  // Largest power of two <= size.
+  std::size_t n = 1;
+  while (n * 2 <= bits.size()) n *= 2;
+
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::complex<double>(bits[i] ? 1.0 : -1.0, 0.0);
+  }
+  fft_in_place(x);
+
+  const double threshold =
+      std::sqrt(std::log(1.0 / 0.05) * static_cast<double>(n));
+  const std::size_t half = n / 2;
+  std::size_t below = 0;
+  for (std::size_t j = 0; j < half; ++j) {
+    if (std::abs(x[j]) < threshold) ++below;
+  }
+  const double n0 = 0.95 * static_cast<double>(half);
+  const double n1 = static_cast<double>(below);
+  const double d =
+      (n1 - n0) /
+      std::sqrt(static_cast<double>(n) * 0.95 * 0.05 / 4.0);
+  r.p_values.push_back(std::erfc(std::fabs(d) / std::sqrt(2.0)));
+  return r;
+}
+
+}  // namespace trng::stat

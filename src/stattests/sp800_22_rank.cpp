@@ -1,0 +1,86 @@
+// SP 800-22 test 2.5: binary matrix rank.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "stattests/sp800_22.hpp"
+
+namespace trng::stat {
+
+int gf2_rank(std::vector<std::uint64_t> rows, int dim) {
+  int rank = 0;
+  for (int col = dim - 1; col >= 0 && rank < static_cast<int>(rows.size());
+       --col) {
+    const std::uint64_t mask = 1ULL << col;
+    // Find a pivot row with this column set.
+    int pivot = -1;
+    for (int i = rank; i < static_cast<int>(rows.size()); ++i) {
+      if (rows[static_cast<std::size_t>(i)] & mask) {
+        pivot = i;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    std::swap(rows[static_cast<std::size_t>(rank)],
+              rows[static_cast<std::size_t>(pivot)]);
+    for (int i = 0; i < static_cast<int>(rows.size()); ++i) {
+      if (i != rank && (rows[static_cast<std::size_t>(i)] & mask)) {
+        rows[static_cast<std::size_t>(i)] ^=
+            rows[static_cast<std::size_t>(rank)];
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+TestResult rank_test(const common::BitStream& bits) {
+  TestResult r;
+  r.name = "rank";
+  constexpr std::size_t kM = 32;  // square matrix dimension
+  constexpr std::size_t kBitsPerMatrix = kM * kM;
+  const std::size_t big_n = bits.size() / kBitsPerMatrix;
+  if (big_n < 38) {
+    r.applicable = false;
+    r.note = "requires at least 38 32x32 matrices (n >= 38912)";
+    return r;
+  }
+
+  // Reference category probabilities for 32x32 over GF(2): rank 32, 31,
+  // <= 30 (SP 800-22 Section 3.5).
+  constexpr double kPFull = 0.2888;
+  constexpr double kPMinus1 = 0.5776;
+  constexpr double kPRest = 0.1336;
+
+  std::size_t f_full = 0, f_minus1 = 0;
+  std::vector<std::uint64_t> rows(kM);
+  for (std::size_t m = 0; m < big_n; ++m) {
+    for (std::size_t i = 0; i < kM; ++i) {
+      std::uint64_t row = 0;
+      for (std::size_t j = 0; j < kM; ++j) {
+        if (bits[m * kBitsPerMatrix + i * kM + j]) row |= 1ULL << j;
+      }
+      rows[i] = row;
+    }
+    const int rank = gf2_rank(rows, static_cast<int>(kM));
+    if (rank == static_cast<int>(kM)) {
+      ++f_full;
+    } else if (rank == static_cast<int>(kM) - 1) {
+      ++f_minus1;
+    }
+  }
+  const double nn = static_cast<double>(big_n);
+  const std::size_t f_rest = big_n - f_full - f_minus1;
+  auto term = [nn](double observed, double p) {
+    const double d = observed - nn * p;
+    return d * d / (nn * p);
+  };
+  const double chi2 = term(static_cast<double>(f_full), kPFull) +
+                      term(static_cast<double>(f_minus1), kPMinus1) +
+                      term(static_cast<double>(f_rest), kPRest);
+  // df = 2 => p = exp(-chi2 / 2).
+  r.p_values.push_back(std::exp(-chi2 / 2.0));
+  return r;
+}
+
+}  // namespace trng::stat

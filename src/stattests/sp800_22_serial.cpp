@@ -1,0 +1,96 @@
+// SP 800-22 tests 2.11 and 2.12: serial and approximate entropy. Both use
+// overlapping m-bit pattern counts with cyclic wrap-around.
+#include <cmath>
+#include <vector>
+
+#include "common/special.hpp"
+#include "stattests/sp800_22.hpp"
+
+namespace trng::stat {
+
+namespace {
+
+/// Counts of all overlapping m-bit patterns with cyclic extension.
+/// Returns empty vector for m == 0 (psi^2_0 = 0 by definition).
+std::vector<std::size_t> pattern_counts(const common::BitStream& bits,
+                                        unsigned m) {
+  if (m == 0) return {};
+  const std::size_t n = bits.size();
+  std::vector<std::size_t> counts(1u << m, 0);
+  std::uint32_t window = 0;
+  const std::uint32_t mask = (1u << m) - 1u;
+  // Pre-fill with the first m-1 bits.
+  for (unsigned j = 0; j + 1 < m; ++j) {
+    window = (window << 1) | (bits[j] ? 1u : 0u);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t next = (i + m - 1) % n;  // cyclic extension
+    window = ((window << 1) | (bits[next] ? 1u : 0u)) & mask;
+    ++counts[window];
+  }
+  return counts;
+}
+
+double psi_squared(const common::BitStream& bits, unsigned m) {
+  if (m == 0) return 0.0;
+  const auto counts = pattern_counts(bits, m);
+  const double n = static_cast<double>(bits.size());
+  double sum = 0.0;
+  for (std::size_t c : counts) {
+    sum += static_cast<double>(c) * static_cast<double>(c);
+  }
+  return std::exp2(static_cast<double>(m)) / n * sum - n;
+}
+
+}  // namespace
+
+TestResult serial_test(const common::BitStream& bits, unsigned m) {
+  TestResult r;
+  r.name = "serial";
+  const std::size_t n = bits.size();
+  if (m < 2 || m > 24 ||
+      static_cast<double>(m) >= std::log2(static_cast<double>(n)) - 2.0) {
+    r.applicable = false;
+    r.note = "requires 2 <= m < log2(n) - 2";
+    return r;
+  }
+  const double psi_m = psi_squared(bits, m);
+  const double psi_m1 = psi_squared(bits, m - 1);
+  const double psi_m2 = psi_squared(bits, m - 2);
+  const double d1 = psi_m - psi_m1;
+  const double d2 = psi_m - 2.0 * psi_m1 + psi_m2;
+  r.p_values.push_back(common::igamc(std::exp2(m - 2), d1 / 2.0));
+  r.p_values.push_back(common::igamc(std::exp2(m - 3), d2 / 2.0));
+  return r;
+}
+
+TestResult approximate_entropy_test(const common::BitStream& bits,
+                                    unsigned m) {
+  TestResult r;
+  r.name = "approximate_entropy";
+  const std::size_t n = bits.size();
+  if (m < 1 || m > 22 ||
+      static_cast<double>(m) >= std::log2(static_cast<double>(n)) - 5.0) {
+    r.applicable = false;
+    r.note = "requires 1 <= m < log2(n) - 5";
+    return r;
+  }
+  const double nn = static_cast<double>(n);
+  auto phi = [&](unsigned mm) {
+    const auto counts = pattern_counts(bits, mm);
+    double sum = 0.0;
+    for (std::size_t c : counts) {
+      if (c > 0) {
+        const double pi = static_cast<double>(c) / nn;
+        sum += pi * std::log(pi);
+      }
+    }
+    return sum;
+  };
+  const double ap_en = phi(m) - phi(m + 1);
+  const double chi2 = 2.0 * nn * (std::log(2.0) - ap_en);
+  r.p_values.push_back(common::igamc(std::exp2(m - 1), chi2 / 2.0));
+  return r;
+}
+
+}  // namespace trng::stat

@@ -1,0 +1,129 @@
+// SP 800-22 tests 2.7 and 2.8: non-overlapping and overlapping template
+// matching.
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/special.hpp"
+#include "stattests/sp800_22.hpp"
+
+namespace trng::stat {
+
+std::vector<std::uint32_t> aperiodic_templates(unsigned m) {
+  if (m == 0 || m > 20) {
+    throw std::invalid_argument("aperiodic_templates: m must be in [1, 20]");
+  }
+  std::vector<std::uint32_t> out;
+  const std::uint32_t count = 1u << m;
+  for (std::uint32_t b = 0; b < count; ++b) {
+    bool aperiodic = true;
+    // b (MSB-first template of length m) must not match any proper shift of
+    // itself: for shift s, the first m-s bits must differ somewhere from
+    // the last m-s bits.
+    for (unsigned s = 1; s < m && aperiodic; ++s) {
+      const std::uint32_t mask = (1u << (m - s)) - 1u;
+      if (((b >> s) & mask) == (b & mask)) aperiodic = false;
+    }
+    if (aperiodic) out.push_back(b);
+  }
+  return out;
+}
+
+TestResult non_overlapping_template_test(const common::BitStream& bits,
+                                         unsigned tpl_len) {
+  TestResult r;
+  r.name = "non_overlapping_template";
+  const std::size_t n = bits.size();
+  constexpr std::size_t kBlocks = 8;  // N
+  const std::size_t block_len = n / kBlocks;
+  // The chi-square approximation needs a healthy per-block expectation
+  // mu = (M - m + 1) / 2^m; require mu >= 20 per block.
+  if (tpl_len < 2 || tpl_len > 16 ||
+      block_len < (std::size_t{20} << tpl_len) + tpl_len) {
+    r.applicable = false;
+    r.note = "sequence too short for stable per-block statistics";
+    return r;
+  }
+  const double m = static_cast<double>(tpl_len);
+  const double big_m = static_cast<double>(block_len);
+  const double two_m = std::exp2(m);
+  const double mu = (big_m - m + 1.0) / two_m;
+  const double sigma2 =
+      big_m * (1.0 / two_m - (2.0 * m - 1.0) / (two_m * two_m));
+
+  const auto templates = aperiodic_templates(tpl_len);
+  const std::uint32_t window_mask = (1u << tpl_len) - 1u;
+
+  // Count per-template, per-block occurrences in one pass per block: slide
+  // a tpl_len-bit window; a match consumes the window (non-overlapping).
+  for (std::uint32_t tpl : templates) {
+    double chi2 = 0.0;
+    for (std::size_t b = 0; b < kBlocks; ++b) {
+      std::size_t w = 0;
+      std::size_t pos = b * block_len;
+      const std::size_t end = pos + block_len;
+      std::uint32_t window = 0;
+      unsigned fill = 0;
+      while (pos < end) {
+        window = ((window << 1) | (bits[pos] ? 1u : 0u)) & window_mask;
+        ++pos;
+        if (fill + 1 < tpl_len) {
+          ++fill;
+          continue;
+        }
+        if (window == tpl) {
+          ++w;
+          window = 0;
+          fill = 0;  // restart after a match (non-overlapping)
+        }
+      }
+      const double d = static_cast<double>(w) - mu;
+      chi2 += d * d / sigma2;
+    }
+    r.p_values.push_back(
+        common::igamc(static_cast<double>(kBlocks) / 2.0, chi2 / 2.0));
+  }
+  return r;
+}
+
+TestResult overlapping_template_test(const common::BitStream& bits,
+                                     unsigned tpl_len) {
+  TestResult r;
+  r.name = "overlapping_template";
+  const std::size_t n = bits.size();
+  // Reference parameterization: m = 9, M = 1032, lambda = 2 (the pi table
+  // below is exact for these values; other m are rejected as inapplicable).
+  constexpr std::size_t kBlockLen = 1032;
+  const std::size_t big_n = n / kBlockLen;
+  if (tpl_len != 9 || big_n < 100) {
+    r.applicable = false;
+    r.note = "requires m = 9 and n >= ~10^5";
+    return r;
+  }
+  static constexpr double kPi[6] = {0.364091, 0.185659, 0.139381,
+                                    0.100571, 0.070432, 0.139865};
+  std::vector<std::size_t> v(6, 0);
+  for (std::size_t b = 0; b < big_n; ++b) {
+    std::size_t count = 0;
+    unsigned run = 0;
+    for (std::size_t j = 0; j < kBlockLen; ++j) {
+      if (bits[b * kBlockLen + j]) {
+        ++run;
+        if (run >= tpl_len) ++count;  // overlapping all-ones matches
+      } else {
+        run = 0;
+      }
+    }
+    v[std::min<std::size_t>(count, 5)]++;
+  }
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double expected = static_cast<double>(big_n) * kPi[i];
+    const double d = static_cast<double>(v[i]) - expected;
+    chi2 += d * d / expected;
+  }
+  r.p_values.push_back(common::igamc(5.0 / 2.0, chi2 / 2.0));
+  return r;
+}
+
+}  // namespace trng::stat

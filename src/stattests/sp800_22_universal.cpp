@@ -1,0 +1,70 @@
+// SP 800-22 test 2.9: Maurer's "universal statistical" test.
+#include <cmath>
+#include <vector>
+
+#include "stattests/sp800_22.hpp"
+
+namespace trng::stat {
+
+TestResult universal_test(const common::BitStream& bits) {
+  TestResult r;
+  r.name = "universal";
+  const std::size_t n = bits.size();
+
+  // L selection table (SP 800-22 Section 2.9.4) and the corresponding
+  // reference expected values / variances for random input.
+  struct LRow {
+    std::size_t min_n;
+    unsigned L;
+    double expected;
+    double variance;
+  };
+  static constexpr LRow kRows[] = {
+      {387840, 6, 5.2177052, 2.954},     {904960, 7, 6.1962507, 3.125},
+      {2068480, 8, 7.1836656, 3.238},    {4654080, 9, 8.1764248, 3.311},
+      {10342400, 10, 9.1723243, 3.356},  {22753280, 11, 10.170032, 3.384},
+      {49643520, 12, 11.168765, 3.401},
+  };
+  const LRow* row = nullptr;
+  for (const auto& candidate : kRows) {
+    if (n >= candidate.min_n) row = &candidate;
+  }
+  if (row == nullptr) {
+    r.applicable = false;
+    r.note = "requires n >= 387840";
+    return r;
+  }
+  const unsigned big_l = row->L;
+  const std::size_t q = 10u * (1u << big_l);  // initialization blocks
+  const std::size_t blocks = n / big_l;
+  const std::size_t k = blocks - q;  // test blocks
+
+  std::vector<std::size_t> last_seen(1u << big_l, 0);
+  auto block_value = [&](std::size_t b) {
+    std::size_t v = 0;
+    for (unsigned j = 0; j < big_l; ++j) {
+      v = (v << 1) | (bits[b * big_l + j] ? 1u : 0u);
+    }
+    return v;
+  };
+  for (std::size_t b = 0; b < q; ++b) last_seen[block_value(b)] = b + 1;
+
+  double sum = 0.0;
+  for (std::size_t b = q; b < blocks; ++b) {
+    const std::size_t v = block_value(b);
+    sum += std::log2(static_cast<double>(b + 1 - last_seen[v]));
+    last_seen[v] = b + 1;
+  }
+  const double fn = sum / static_cast<double>(k);
+
+  const double kk = static_cast<double>(k);
+  const double c = 0.7 - 0.8 / static_cast<double>(big_l) +
+                   (4.0 + 32.0 / static_cast<double>(big_l)) *
+                       std::pow(kk, -3.0 / static_cast<double>(big_l)) / 15.0;
+  const double sigma = c * std::sqrt(row->variance / kk);
+  r.p_values.push_back(
+      std::erfc(std::fabs(fn - row->expected) / (std::sqrt(2.0) * sigma)));
+  return r;
+}
+
+}  // namespace trng::stat

@@ -1,0 +1,25 @@
+#include "stattests/test_result.hpp"
+
+#include <cmath>
+
+namespace trng::stat {
+
+bool TestResult::passed(double alpha) const {
+  if (!applicable) return true;  // no evidence against randomness
+  if (p_values.empty()) return false;
+  if (p_values.size() == 1) return p_values.front() >= alpha;
+
+  // Multi-p family (templates, excursions, serial, cusum): allow the
+  // binomially-expected number of alpha exceedances plus three sigma,
+  // mirroring NIST's proportion-of-passes assessment.
+  const double c = static_cast<double>(p_values.size());
+  const double allowed =
+      c * alpha + 3.0 * std::sqrt(c * alpha * (1.0 - alpha));
+  std::size_t fails = 0;
+  for (double p : p_values) {
+    if (p < alpha) ++fails;
+  }
+  return static_cast<double>(fails) <= allowed;
+}
+
+}  // namespace trng::stat

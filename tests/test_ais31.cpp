@@ -1,0 +1,167 @@
+// Unit tests for the AIS-31 procedure-A tests.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stattests/ais31.hpp"
+
+namespace trng::stat::ais31 {
+namespace {
+
+common::BitStream random_bits(std::size_t n, std::uint64_t seed = 1) {
+  common::Xoshiro256StarStar rng(seed);
+  common::BitStream b;
+  b.reserve(n);
+  for (std::size_t w = 0; w < n / 64 + 1; ++w) b.append_bits(rng.next(), 64);
+  return b.slice(0, n);
+}
+
+common::BitStream biased_bits(std::size_t n, double p, std::uint64_t seed) {
+  common::Xoshiro256StarStar rng(seed);
+  common::BitStream b;
+  for (std::size_t i = 0; i < n; ++i) b.push_back(rng.next_double() < p);
+  return b;
+}
+
+TEST(T0Disjointness, PassesRandomFailsRepeating) {
+  EXPECT_TRUE(t0_disjointness(random_bits(65536 * 48)).passed);
+  // A stream that repeats a 48-bit pattern has colliding words.
+  common::BitStream repeat;
+  const auto pattern = random_bits(48, 9);
+  for (int i = 0; i < 65536; ++i) repeat.append(pattern);
+  EXPECT_FALSE(t0_disjointness(repeat).passed);
+  EXPECT_FALSE(t0_disjointness(random_bits(1000)).applicable);
+}
+
+TEST(T1Monobit, BoundsAreExact) {
+  // 9655 ones passes, 9654 fails (bounds are exclusive).
+  common::BitStream pass;
+  for (int i = 0; i < 9655; ++i) pass.push_back(true);
+  for (int i = 0; i < 20000 - 9655; ++i) pass.push_back(false);
+  EXPECT_TRUE(t1_monobit(pass).passed);
+  common::BitStream fail;
+  for (int i = 0; i < 9654; ++i) fail.push_back(true);
+  for (int i = 0; i < 20000 - 9654; ++i) fail.push_back(false);
+  EXPECT_FALSE(t1_monobit(fail).passed);
+  EXPECT_FALSE(t1_monobit(random_bits(100)).applicable);
+}
+
+TEST(T1Monobit, PassesRandom) {
+  EXPECT_TRUE(t1_monobit(random_bits(20000)).passed);
+}
+
+TEST(T2Poker, PassesRandomFailsConstant) {
+  EXPECT_TRUE(t2_poker(random_bits(20000)).passed);
+  common::BitStream constant;
+  for (int i = 0; i < 20000; ++i) constant.push_back(false);
+  EXPECT_FALSE(t2_poker(constant).passed);
+}
+
+TEST(T2Poker, FailsTooUniform) {
+  // Cycling through all 16 nibbles gives X ~ 0 < 1.03: suspiciously even.
+  common::BitStream cycle;
+  for (int b = 0; b < 1250; ++b) {
+    for (int v = 0; v < 16; ++v) {
+      for (int j = 3; j >= 0; --j) cycle.push_back((v >> j) & 1);
+    }
+  }
+  ASSERT_EQ(cycle.size(), 80000u);
+  EXPECT_FALSE(t2_poker(cycle).passed);
+}
+
+TEST(T3Runs, PassesRandomFailsAlternating) {
+  EXPECT_TRUE(t3_runs(random_bits(20000)).passed);
+  common::BitStream alt;
+  for (int i = 0; i < 20000; ++i) alt.push_back(i % 2 == 0);
+  EXPECT_FALSE(t3_runs(alt).passed);  // all runs length 1: way over bound
+}
+
+TEST(T4LongRun, DetectsRunOf34) {
+  auto bits = random_bits(20000, 3);
+  EXPECT_TRUE(t4_long_run(bits).passed);
+  common::BitStream with_run = bits.slice(0, 10000);
+  for (int i = 0; i < 34; ++i) with_run.push_back(true);
+  with_run.append(bits.slice(10000, 20000 - with_run.size()));
+  EXPECT_FALSE(t4_long_run(with_run).passed);
+}
+
+TEST(T5Autocorrelation, PassesRandomFailsPeriodic) {
+  EXPECT_TRUE(t5_autocorrelation(random_bits(20000)).passed);
+  // Period-16 signal: tau = 16 correlates perfectly in phase 2 as well.
+  common::BitStream periodic;
+  for (int i = 0; i < 20000; ++i) periodic.push_back((i % 16) < 8);
+  EXPECT_FALSE(t5_autocorrelation(periodic).passed);
+  EXPECT_FALSE(t5_autocorrelation(random_bits(10000)).applicable);
+}
+
+TEST(T6Uniform, BoundsAreRespected) {
+  EXPECT_TRUE(t6_uniform_distribution(random_bits(100000)).passed);
+  EXPECT_FALSE(t6_uniform_distribution(biased_bits(100000, 0.53, 11)).passed);
+  EXPECT_FALSE(t6_uniform_distribution(random_bits(50000)).applicable);
+}
+
+TEST(T7Homogeneity, PassesIidFailsMarkov) {
+  EXPECT_TRUE(t7_homogeneity(random_bits(100001)).passed);
+  // A sticky chain has P(1|1) != P(1|0): homogeneity must fail even though
+  // the marginal distribution is perfectly balanced.
+  common::Xoshiro256StarStar rng(12);
+  common::BitStream sticky;
+  bool cur = false;
+  for (int i = 0; i < 100001; ++i) {
+    if (rng.next_double() < 0.4) cur = !cur;
+    sticky.push_back(cur);
+  }
+  EXPECT_TRUE(t6_uniform_distribution(sticky).passed);  // balanced marginal
+  EXPECT_FALSE(t7_homogeneity(sticky).passed);
+  EXPECT_FALSE(t7_homogeneity(random_bits(1000)).applicable);
+}
+
+TEST(T7Homogeneity, InapplicableForNearConstant) {
+  common::BitStream almost;
+  for (int i = 0; i < 100001; ++i) almost.push_back(i % 5000 == 0);
+  EXPECT_FALSE(t7_homogeneity(almost).applicable);
+}
+
+TEST(ProcedureB, PassesGoodFailsCorrelated) {
+  EXPECT_TRUE(procedure_b(random_bits((2560 + 256000) * 8)));
+  common::Xoshiro256StarStar rng(13);
+  common::BitStream sticky;
+  bool cur = false;
+  for (std::size_t i = 0; i < (2560 + 256000) * 8; ++i) {
+    if (rng.next_double() < 0.3) cur = !cur;
+    sticky.push_back(cur);
+  }
+  EXPECT_FALSE(procedure_b(sticky));
+}
+
+TEST(T8Entropy, PassesRandom) {
+  // Needs (2560 + 256000) * 8 bits.
+  const auto r = t8_entropy(random_bits((2560 + 256000) * 8));
+  EXPECT_TRUE(r.applicable);
+  EXPECT_TRUE(r.passed);
+  // The statistic approximates the per-word entropy: ~8 for ideal input.
+  EXPECT_NEAR(r.statistic, 8.0, 0.05);
+}
+
+TEST(T8Entropy, FailsBiased) {
+  const auto r = t8_entropy(biased_bits((2560 + 256000) * 8, 0.7, 4));
+  EXPECT_TRUE(r.applicable);
+  EXPECT_FALSE(r.passed);
+  EXPECT_LT(r.statistic, 7.6);
+}
+
+TEST(T8Entropy, RejectsBadParameters) {
+  EXPECT_FALSE(t8_entropy(random_bits(1000), 8).applicable);
+  EXPECT_FALSE(t8_entropy(random_bits(100000), 20).applicable);
+  EXPECT_FALSE(t8_entropy(random_bits(100000), 8, 10).applicable);
+}
+
+TEST(ProcedureA, PassesGoodRandomness) {
+  EXPECT_TRUE(procedure_a(random_bits(65536 * 48 + 1)));
+}
+
+TEST(ProcedureA, FailsBiasedSource) {
+  EXPECT_FALSE(procedure_a(biased_bits(65536 * 48 + 1, 0.6, 5)));
+}
+
+}  // namespace
+}  // namespace trng::stat::ais31

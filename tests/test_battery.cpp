@@ -1,0 +1,144 @@
+// Unit tests for the battery runner and the n_NIST search.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stattests/battery.hpp"
+
+namespace trng::stat {
+namespace {
+
+common::BitStream random_bits(std::size_t n, std::uint64_t seed = 1) {
+  common::Xoshiro256StarStar rng(seed);
+  common::BitStream b;
+  b.reserve(n + 64);
+  for (std::size_t w = 0; w < n / 64 + 1; ++w) b.append_bits(rng.next(), 64);
+  return b.slice(0, n);
+}
+
+TEST(TestResult, SinglePValuePassCriterion) {
+  TestResult r;
+  r.p_values = {0.02};
+  EXPECT_TRUE(r.passed(0.01));
+  r.p_values = {0.005};
+  EXPECT_FALSE(r.passed(0.01));
+  r.p_values.clear();
+  EXPECT_FALSE(r.passed(0.01));
+  r.applicable = false;
+  EXPECT_TRUE(r.passed(0.01));  // inapplicable = no evidence against
+}
+
+TEST(TestResult, MultiPValueToleratesExpectedFailures) {
+  // 148 p-values at alpha = 0.01: expected 1.48 failures, allowed up to
+  // 1.48 + 3 * sqrt(1.47) ~ 5.1.
+  TestResult r;
+  r.p_values.assign(148, 0.5);
+  r.p_values[0] = 0.001;
+  r.p_values[1] = 0.002;
+  r.p_values[2] = 0.003;
+  EXPECT_TRUE(r.passed(0.01));
+  for (int i = 0; i < 10; ++i) r.p_values[static_cast<std::size_t>(i)] = 0.001;
+  EXPECT_FALSE(r.passed(0.01));
+}
+
+TEST(TestBattery, RejectsBadAlpha) {
+  TestBattery::Options opt;
+  opt.alpha = 0.0;
+  EXPECT_THROW(TestBattery{opt}, std::invalid_argument);
+  opt.alpha = 1.0;
+  EXPECT_THROW(TestBattery{opt}, std::invalid_argument);
+}
+
+TEST(TestBattery, FullRunOnRandomDataPasses) {
+  TestBattery battery;
+  const auto report = battery.run(random_bits(1100000, 20260707));
+  EXPECT_TRUE(report.all_passed()) << [&] {
+    std::string failed;
+    for (const auto& r : report.results) {
+      if (r.applicable && !r.passed()) failed += r.name + " ";
+    }
+    return failed;
+  }();
+  EXPECT_EQ(report.results.size(), 15u);
+  EXPECT_GE(report.applicable_count(), 13u);
+  EXPECT_EQ(report.failed_count(), 0u);
+}
+
+TEST(TestBattery, FastModeSkipsSlowTests) {
+  TestBattery::Options opt;
+  opt.include_slow = false;
+  TestBattery battery(opt);
+  const auto report = battery.run(random_bits(200000, 3));
+  EXPECT_EQ(report.results.size(), 9u);
+}
+
+TEST(TestBattery, BiasedDataFailsMultipleTests) {
+  common::Xoshiro256StarStar rng(4);
+  common::BitStream biased;
+  for (int i = 0; i < 300000; ++i) biased.push_back(rng.next_double() < 0.53);
+  TestBattery battery;
+  const auto report = battery.run(biased);
+  EXPECT_FALSE(report.all_passed());
+  EXPECT_GE(report.failed_count(), 2u);
+}
+
+TEST(TestBattery, MinPassingNpFindsCompressionRate) {
+  // A source with bias 0.25: b_pp(np) = 2^(np-1) * 0.25^np; np = 3 gives
+  // bias 0.0156 — still detectable on 60k bits; np = 4 gives 0.0039.
+  common::Xoshiro256StarStar rng(5);
+  TestBattery::Options opt;
+  opt.include_slow = false;
+  TestBattery battery(opt);
+  auto source = [&rng](std::size_t count) {
+    common::BitStream b;
+    for (std::size_t i = 0; i < count; ++i) {
+      b.push_back(rng.next_double() < 0.75);
+    }
+    return b;
+  };
+  const auto np = battery.min_passing_np(source, 60000, 8);
+  ASSERT_TRUE(np.has_value());
+  EXPECT_GE(*np, 3u);
+  EXPECT_LE(*np, 6u);
+}
+
+TEST(TestBattery, MinPassingNpIsOneForGoodSource) {
+  common::Xoshiro256StarStar rng(6);
+  TestBattery::Options opt;
+  opt.include_slow = false;
+  TestBattery battery(opt);
+  auto source = [&rng](std::size_t count) {
+    common::BitStream b;
+    b.reserve(count + 64);
+    for (std::size_t w = 0; w < count / 64 + 1; ++w) {
+      b.append_bits(rng.next(), 64);
+    }
+    return b.slice(0, count);
+  };
+  EXPECT_EQ(battery.min_passing_np(source, 60000, 8), 1u);
+}
+
+TEST(TestBattery, MinPassingNpReturnsNulloptWhenHopeless) {
+  // Constant source never passes however hard it is compressed.
+  TestBattery::Options opt;
+  opt.include_slow = false;
+  TestBattery battery(opt);
+  auto source = [](std::size_t count) {
+    common::BitStream b;
+    for (std::size_t i = 0; i < count; ++i) b.push_back(true);
+    return b;
+  };
+  EXPECT_EQ(battery.min_passing_np(source, 30000, 4), std::nullopt);
+}
+
+TEST(TestBattery, MinPassingNpValidatesArguments) {
+  TestBattery battery;
+  auto source = [](std::size_t) { return common::BitStream{}; };
+  EXPECT_THROW(battery.min_passing_np(source, 100, 4), std::invalid_argument);
+  EXPECT_THROW(battery.min_passing_np(nullptr, 100000, 4),
+               std::invalid_argument);
+  EXPECT_THROW(battery.min_passing_np(source, 100000, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trng::stat

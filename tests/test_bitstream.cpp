@@ -1,0 +1,127 @@
+// Unit tests for the packed bit container.
+#include <gtest/gtest.h>
+
+#include "common/bitstream.hpp"
+#include "common/rng.hpp"
+
+namespace trng::common {
+namespace {
+
+TEST(BitStream, StartsEmpty) {
+  BitStream bs;
+  EXPECT_TRUE(bs.empty());
+  EXPECT_EQ(bs.size(), 0u);
+  EXPECT_EQ(bs.count_ones(), 0u);
+}
+
+TEST(BitStream, PushAndRead) {
+  BitStream bs;
+  bs.push_back(true);
+  bs.push_back(false);
+  bs.push_back(true);
+  ASSERT_EQ(bs.size(), 3u);
+  EXPECT_TRUE(bs[0]);
+  EXPECT_FALSE(bs[1]);
+  EXPECT_TRUE(bs[2]);
+  EXPECT_EQ(bs.count_ones(), 2u);
+}
+
+TEST(BitStream, FromStringRoundTrip) {
+  const std::string s = "10110100111000010101";
+  const BitStream bs = BitStream::from_string(s);
+  EXPECT_EQ(bs.to_string(), s);
+}
+
+TEST(BitStream, FromStringRejectsGarbage) {
+  EXPECT_THROW(BitStream::from_string("10x1"), std::invalid_argument);
+}
+
+TEST(BitStream, AtThrowsOutOfRange) {
+  BitStream bs = BitStream::from_string("101");
+  EXPECT_TRUE(bs.at(0));
+  EXPECT_THROW(bs.at(3), std::out_of_range);
+}
+
+TEST(BitStream, CrossesWordBoundaries) {
+  BitStream bs;
+  for (int i = 0; i < 200; ++i) bs.push_back(i % 3 == 0);
+  ASSERT_EQ(bs.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(bs[static_cast<std::size_t>(i)], i % 3 == 0) << i;
+  }
+  EXPECT_EQ(bs.count_ones(), 67u);  // ceil(200/3)
+}
+
+TEST(BitStream, AppendBitsLsbFirst) {
+  BitStream bs;
+  bs.append_bits(0b1011, 4);  // LSB first: 1,1,0,1
+  EXPECT_EQ(bs.to_string(), "1101");
+  EXPECT_THROW(bs.append_bits(0, 65), std::invalid_argument);
+}
+
+TEST(BitStream, AppendAlignedAndUnaligned) {
+  BitStream a;
+  for (int i = 0; i < 64; ++i) a.push_back(i % 2 == 0);
+  BitStream b = BitStream::from_string("111000");
+  BitStream aligned = a;
+  aligned.append(b);  // a is word-aligned
+  EXPECT_EQ(aligned.size(), 70u);
+  EXPECT_EQ(aligned.slice(64, 6).to_string(), "111000");
+
+  BitStream c = BitStream::from_string("10");
+  c.append(b);  // unaligned path
+  EXPECT_EQ(c.to_string(), "10111000");
+}
+
+TEST(BitStream, SliceBoundsChecked) {
+  BitStream bs = BitStream::from_string("110010");
+  EXPECT_EQ(bs.slice(2, 3).to_string(), "001");
+  EXPECT_EQ(bs.slice(0, 6).to_string(), "110010");
+  EXPECT_THROW(bs.slice(4, 3), std::out_of_range);
+}
+
+TEST(BitStream, XorFold) {
+  // Groups of 3: 110 -> 0, 010 -> 1, trailing "1" dropped.
+  BitStream bs = BitStream::from_string("1100101");
+  EXPECT_EQ(bs.xor_fold(3).to_string(), "01");
+  EXPECT_EQ(bs.xor_fold(1).to_string(), "1100101");
+  EXPECT_THROW(bs.xor_fold(0), std::invalid_argument);
+}
+
+TEST(BitStream, XorFoldReducesBias) {
+  // A heavily biased stream gets closer to balanced after folding.
+  Xoshiro256StarStar rng(9);
+  BitStream biased;
+  for (int i = 0; i < 90000; ++i) biased.push_back(rng.next_double() < 0.7);
+  const double b1 = biased.ones_fraction() - 0.5;
+  const double b3 = biased.xor_fold(3).ones_fraction() - 0.5;
+  EXPECT_LT(std::abs(b3), std::abs(b1));
+  // Piling-up lemma: b3 ~ 4 * b1^3 = 0.032.
+  EXPECT_NEAR(b3, 4.0 * b1 * b1 * b1, 0.01);
+}
+
+TEST(BitStream, OnesFractionThrowsOnEmpty) {
+  BitStream bs;
+  EXPECT_THROW(bs.ones_fraction(), std::logic_error);
+}
+
+TEST(BitStream, EqualityAndClear) {
+  BitStream a = BitStream::from_string("1010");
+  BitStream b = BitStream::from_string("1010");
+  BitStream c = BitStream::from_string("1011");
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(a == BitStream{});
+}
+
+TEST(BitStream, FromWords) {
+  const BitStream bs = BitStream::from_words({0b101, 0b011}, 3);
+  EXPECT_EQ(bs.to_string(), "101110");  // LSB-first per word
+  EXPECT_THROW(BitStream::from_words({1}, 0), std::invalid_argument);
+  EXPECT_THROW(BitStream::from_words({1}, 65), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trng::common

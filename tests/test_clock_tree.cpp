@@ -1,0 +1,93 @@
+// Unit tests for the clock-tree skew model (the TDC non-linearity source).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fpga/clock_tree.hpp"
+
+namespace trng::fpga {
+namespace {
+
+ClockTreeModel make_model(std::uint64_t seed = 1, ClockTreeSpec spec = {}) {
+  return ClockTreeModel(DeviceGeometry{}, spec, seed);
+}
+
+TEST(ClockTree, DeterministicPerDie) {
+  auto a = make_model(42);
+  auto b = make_model(42);
+  for (int row = 0; row < 32; ++row) {
+    EXPECT_DOUBLE_EQ(a.arrival_skew({0, row}), b.arrival_skew({0, row}));
+  }
+}
+
+TEST(ClockTree, ConsecutiveRowsWithinRegionDifferByRamp) {
+  auto m = make_model(7);
+  const double step = m.spec().skew_per_row_ps;
+  // Rows 1..6 lie below the region-0 spine (rows 0..15, spine at 7.5), so
+  // the vertical term shrinks by `step` per row going up.
+  for (int row = 1; row < 7; ++row) {
+    const double diff =
+        m.arrival_skew({0, row}) - m.arrival_skew({0, row + 1});
+    EXPECT_NEAR(diff, step, 1e-9) << "row " << row;
+  }
+}
+
+TEST(ClockTree, SkewSymmetricAboutSpine) {
+  auto m = make_model(3);
+  // Spine of region 0 sits between rows 7 and 8.
+  EXPECT_NEAR(m.arrival_skew({0, 7}), m.arrival_skew({0, 8}), 1e-9);
+  EXPECT_NEAR(m.arrival_skew({0, 0}), m.arrival_skew({0, 15}), 1e-9);
+}
+
+TEST(ClockTree, RegionBoundaryIntroducesJump) {
+  // Crossing rows 15 -> 16 changes the region: the skews use different
+  // region offsets and opposite ramp directions; the step across the
+  // boundary generically differs from the in-region ramp.
+  auto m = make_model(12345);
+  const double in_region =
+      std::fabs(m.arrival_skew({0, 14}) - m.arrival_skew({0, 15}));
+  const double across =
+      std::fabs(m.arrival_skew({0, 15}) - m.arrival_skew({0, 16}));
+  EXPECT_NEAR(in_region, m.spec().skew_per_row_ps, 1e-9);
+  EXPECT_GT(across, 3.0 * m.spec().skew_per_row_ps);
+}
+
+TEST(ClockTree, ColumnTaper) {
+  auto m = make_model(5);
+  const double d =
+      m.arrival_skew({10, 3}) - m.arrival_skew({0, 3});
+  EXPECT_NEAR(d, 10 * m.spec().skew_per_col_ps, 1e-9);
+}
+
+TEST(ClockTree, ZeroSpecGivesZeroSkew) {
+  ClockTreeSpec spec;
+  spec.skew_per_row_ps = 0.0;
+  spec.skew_per_col_ps = 0.0;
+  spec.region_offset_bound_ps = 0.0;
+  auto m = make_model(9, spec);
+  for (int row = 0; row < 128; row += 13) {
+    EXPECT_DOUBLE_EQ(m.arrival_skew({0, row}), 0.0);
+  }
+}
+
+TEST(ClockTree, RegionOffsetWithinBound) {
+  ClockTreeSpec spec;
+  spec.skew_per_row_ps = 0.0;
+  spec.skew_per_col_ps = 0.0;
+  spec.region_offset_bound_ps = 25.0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto m = make_model(seed, spec);
+    for (int region = 0; region < 8; ++region) {
+      const double skew = m.arrival_skew({0, region * 16});
+      EXPECT_LE(std::fabs(skew), 25.0 + 1e-9);
+    }
+  }
+}
+
+TEST(ClockTree, RejectsOffDevice) {
+  auto m = make_model(1);
+  EXPECT_THROW(m.arrival_skew({0, 999}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace trng::fpga

@@ -1,0 +1,115 @@
+// Unit tests for the design-space exploration tools (Section 4.4).
+#include <gtest/gtest.h>
+
+#include "model/design_space.hpp"
+
+namespace trng::model {
+namespace {
+
+class DesignSpaceTest : public ::testing::Test {
+ protected:
+  StochasticModel model_{core::PlatformParams{}};
+  DesignSpaceExplorer explorer_{model_};
+};
+
+TEST_F(DesignSpaceTest, EvaluatePopulatesAllFields) {
+  const DesignPoint p = explorer_.evaluate(1, 1, 7);
+  EXPECT_EQ(p.k, 1);
+  EXPECT_EQ(p.accumulation_cycles, 1u);
+  EXPECT_EQ(p.np, 7u);
+  EXPECT_DOUBLE_EQ(p.t_a_ps, 10000.0);
+  EXPECT_NEAR(p.h_raw, 0.931, 0.002);
+  EXPECT_GT(p.h_post, 0.999);
+  EXPECT_NEAR(p.throughput_bps, 14.29e6, 0.01e6);
+}
+
+TEST_F(DesignSpaceTest, SweepIsCartesianProduct) {
+  const auto points =
+      explorer_.sweep({1, 4}, {Cycles{1}, Cycles{2}, Cycles{5}}, {1u, 7u});
+  EXPECT_EQ(points.size(), 2u * 3u * 2u);
+  // Order: k-major, then cycles, then np.
+  EXPECT_EQ(points[0].k, 1);
+  EXPECT_EQ(points.back().k, 4);
+  EXPECT_EQ(points.back().accumulation_cycles, 5u);
+  EXPECT_EQ(points.back().np, 7u);
+}
+
+TEST_F(DesignSpaceTest, MinAccumulationCyclesIsExactBoundary) {
+  const Cycles c = explorer_.min_accumulation_cycles(1, 0.99);
+  ASSERT_GE(c, 1u);
+  const double t_clk = 10000.0;
+  EXPECT_GE(model_.entropy_lower_bound(static_cast<double>(c) * t_clk, 1),
+            0.99);
+  if (c > 1) {
+    EXPECT_LT(
+        model_.entropy_lower_bound(static_cast<double>(c - 1) * t_clk, 1),
+        0.99);
+  }
+}
+
+TEST_F(DesignSpaceTest, MinAccumulationCyclesK4MatchesTable1Trend) {
+  // From Table 1, k=4 reaches H ~ 0.99 around tA ~ 200-300 ns.
+  const Cycles c = explorer_.min_accumulation_cycles(4, 0.99);
+  EXPECT_GE(c, 20u);
+  EXPECT_LE(c, 40u);
+}
+
+TEST_F(DesignSpaceTest, MinAccumulationCyclesThrowsWhenUnreachable) {
+  EXPECT_THROW(explorer_.min_accumulation_cycles(1, 0.999999, 4),
+               std::runtime_error);
+  EXPECT_THROW(explorer_.min_accumulation_cycles(1, 0.0), std::invalid_argument);
+  EXPECT_THROW(explorer_.min_accumulation_cycles(1, 1.1), std::invalid_argument);
+}
+
+TEST_F(DesignSpaceTest, MinAccumulationTimeBisection) {
+  const Picoseconds t = explorer_.min_accumulation_time_ps(1, 0.997, 0.5);
+  EXPECT_GE(model_.entropy_lower_bound(t, 1), 0.997);
+  EXPECT_LT(model_.entropy_lower_bound(t - 1.0, 1), 0.997);
+}
+
+TEST_F(DesignSpaceTest, Eq8RatioFromAccumulationTimes) {
+  // The squared-resolution law: the elementary TRNG (resolution d0) needs
+  // ~(d0/t_step)^2 = 797x the accumulation time of the TDC design for the
+  // same entropy bound. The elementary TRNG is the k-fold model with bin
+  // width d0, i.e. k = d0/t_step; use the continuous-time search on both.
+  core::PlatformParams elementary = core::PlatformParams{};
+  elementary.t_step_ps = elementary.d0_lut_ps;  // sampling at d0 resolution
+  StochasticModel em(elementary);
+  DesignSpaceExplorer ee(em);
+  const double target = 0.997;
+  const double t_tdc = explorer_.min_accumulation_time_ps(1, target, 0.5);
+  const double t_elem = ee.min_accumulation_time_ps(1, target, 0.5);
+  EXPECT_NEAR(t_elem / t_tdc, 797.0, 797.0 * 0.02);
+}
+
+TEST_F(DesignSpaceTest, MinNpMatchesEntropyTargets) {
+  // np = 1 suffices when raw entropy is already above target.
+  EXPECT_EQ(explorer_.min_np(1, 5, 0.99), 1u);
+  // k=4, tA=50ns (HRAW ~ 0.46) needs substantial compression for 0.999.
+  const unsigned np = explorer_.min_np(4, 5, 0.999);
+  EXPECT_GT(np, 2u);
+  const double t_a = 50000.0;
+  EXPECT_GE(model_.entropy_after_postprocessing(t_a, 4, np), 0.999);
+  EXPECT_LT(model_.entropy_after_postprocessing(t_a, 4, np - 1), 0.999);
+}
+
+TEST_F(DesignSpaceTest, MinNpThrowsWhenHopeless) {
+  // k=4 at tA=10ns: HRAW ~ 0.003 — Table 1 reports "> 16".
+  EXPECT_THROW(explorer_.min_np(4, 1, 0.999, 16), std::runtime_error);
+}
+
+TEST_F(DesignSpaceTest, ThroughputEntropyTradeoffIsMonotone) {
+  // Along increasing np at fixed (k, NA): entropy up, throughput down.
+  double prev_h = 0.0;
+  double prev_tp = 1.0e18;
+  for (unsigned np = 1; np <= 12; ++np) {
+    const auto p = explorer_.evaluate(4, 5, np);
+    EXPECT_GE(p.h_post + 1e-12, prev_h);
+    EXPECT_LT(p.throughput_bps, prev_tp);
+    prev_h = p.h_post;
+    prev_tp = p.throughput_bps;
+  }
+}
+
+}  // namespace
+}  // namespace trng::model

@@ -1,0 +1,92 @@
+// Unit tests for the elementary-TRNG baseline (Section 5.3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "core/elementary.hpp"
+
+namespace trng::core {
+namespace {
+
+TEST(ElementaryTrng, RejectsBadParameters) {
+  EXPECT_THROW(ElementaryTrng(0.0, 2.0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(ElementaryTrng(480.0, -1.0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(ElementaryTrng(480.0, 2.0, 0, 1), std::invalid_argument);
+}
+
+TEST(ElementaryTrng, AccumulatedSigmaFollowsEq1) {
+  ElementaryTrng t(480.0, 2.0, 100, 1);  // t_A = 1 us
+  EXPECT_NEAR(t.accumulated_sigma_ps(), 2.0 * std::sqrt(1.0e6 / 480.0), 1e-9);
+}
+
+TEST(ElementaryTrng, ThroughputIsClockOverCycles) {
+  ElementaryTrng t(480.0, 2.0, 800, 1);
+  EXPECT_DOUBLE_EQ(t.throughput_bps(), 100.0e6 / 800.0);
+  EXPECT_DOUBLE_EQ(t.accumulation_time_ps(), 8.0e6);
+}
+
+TEST(ElementaryTrng, GeneratesRequestedCount) {
+  ElementaryTrng t(480.0, 2.0, 10, 2, ElementaryTrng::Mode::kAnalytic);
+  EXPECT_EQ(t.generate(5000).size(), 5000u);
+}
+
+TEST(ElementaryTrng, LowAccumulationIsNearlyDeterministic) {
+  // At t_A = 10 ns, sigma_acc ~ 9 ps << d0 = 480 ps: the sampled value is
+  // essentially fixed.
+  ElementaryTrng t(480.0, 2.0, 1, 3, ElementaryTrng::Mode::kAnalytic);
+  const auto bits = t.generate(2000);
+  const double ones = bits.ones_fraction();
+  EXPECT_TRUE(ones < 0.01 || ones > 0.99);
+}
+
+TEST(ElementaryTrng, HighAccumulationApproachesFair) {
+  // sigma_acc >> d0 (t_A such that sigma_acc ~ 3 * d0): P1 -> 0.5.
+  // sigma_acc = 2 * sqrt(tA/480) >= 1440 -> tA ~ 2.5e8 ps = 2.5e4 cycles.
+  ElementaryTrng t(480.0, 2.0, 25000, 4, ElementaryTrng::Mode::kAnalytic);
+  const auto bits = t.generate(20000);
+  EXPECT_NEAR(bits.ones_fraction(), 0.5, 0.02);
+}
+
+TEST(ElementaryTrng, AnalyticMatchesEventDrivenDistribution) {
+  // Same parameters, different engines: the ones-fraction must agree within
+  // sampling error. Pick t_A where the outcome is genuinely random:
+  // sigma_acc ~ d0/2 -> tA = (120/2)^2*480 ~ 6.9e6 ps -> 691 cycles.
+  constexpr Cycles kCycles = 691;
+  ElementaryTrng analytic(480.0, 2.0, kCycles, 5,
+                          ElementaryTrng::Mode::kAnalytic);
+  ElementaryTrng event(480.0, 2.0, kCycles, 6,
+                       ElementaryTrng::Mode::kEventDriven);
+  constexpr std::size_t kBits = 3000;
+  const double pa = analytic.generate(kBits).ones_fraction();
+  const double pe = event.generate(kBits).ones_fraction();
+  EXPECT_NEAR(pa, pe, 0.05);
+}
+
+TEST(ElementaryTrng, DeterministicPerSeed) {
+  ElementaryTrng a(480.0, 2.0, 700, 42);
+  ElementaryTrng b(480.0, 2.0, 700, 42);
+  EXPECT_TRUE(a.generate(1000) == b.generate(1000));
+}
+
+class ElementarySigmaSweep : public ::testing::TestWithParam<Cycles> {};
+
+TEST_P(ElementarySigmaSweep, BiasShrinksWithAccumulation) {
+  // More accumulation can only reduce the worst-case bias of the sampled
+  // square wave (monotone entropy growth, the premise of Eq. 8).
+  const Cycles cycles = GetParam();
+  ElementaryTrng shorter(480.0, 2.0, cycles, 7);
+  ElementaryTrng longer(480.0, 2.0, cycles * 16, 7);
+  const double bias_short =
+      std::fabs(shorter.generate(8000).ones_fraction() - 0.5);
+  const double bias_long =
+      std::fabs(longer.generate(8000).ones_fraction() - 0.5);
+  EXPECT_LE(bias_long, bias_short + 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ElementarySigmaSweep,
+                         ::testing::Values(Cycles{200}, Cycles{700},
+                                           Cycles{2000}));
+
+}  // namespace
+}  // namespace trng::core

@@ -1,0 +1,150 @@
+// Unit tests for the entropy extractor (Figure 5): XOR fold, first-edge
+// priority encoding, bubble tolerance, double-edge handling, down-sampling.
+#include <gtest/gtest.h>
+
+#include "core/extractor.hpp"
+
+namespace trng::core {
+namespace {
+
+sim::LineSnapshot snap(const std::string& s) {
+  sim::LineSnapshot v;
+  for (char c : s) v.push_back(c == '1');
+  return v;
+}
+
+TEST(EntropyExtractor, RejectsBadConstruction) {
+  EXPECT_THROW(EntropyExtractor(1), std::invalid_argument);
+  EXPECT_THROW(EntropyExtractor(8, 0), std::invalid_argument);
+  EXPECT_THROW(EntropyExtractor(8, 9), std::invalid_argument);
+}
+
+TEST(EntropyExtractor, RejectsBadSnapshots) {
+  EntropyExtractor ex(8);
+  EXPECT_THROW(ex.extract({}), std::invalid_argument);
+  EXPECT_THROW(ex.extract({snap("1010")}), std::invalid_argument);
+}
+
+TEST(EntropyExtractor, XorFoldCombinesLines) {
+  EntropyExtractor ex(8);
+  const auto v = ex.xor_fold({snap("11110000"), snap("11111100")});
+  const std::vector<bool> expected = snap("00001100");
+  EXPECT_EQ(v, expected);
+}
+
+TEST(EntropyExtractor, DecodesSingleEdgePosition) {
+  EntropyExtractor ex(8);
+  // Edge between taps 2 and 3 -> position 2 -> even -> bit 0.
+  auto r = ex.extract({snap("11100000")});
+  EXPECT_TRUE(r.edge_found);
+  EXPECT_EQ(r.edge_position, 2);
+  EXPECT_FALSE(r.bit);
+  // Edge between taps 3 and 4 -> position 3 -> odd -> bit 1.
+  r = ex.extract({snap("11110000")});
+  EXPECT_EQ(r.edge_position, 3);
+  EXPECT_TRUE(r.bit);
+}
+
+TEST(EntropyExtractor, PolarityOfRunDoesNotMatter) {
+  EntropyExtractor ex(8);
+  const auto a = ex.extract({snap("11100000")});
+  const auto b = ex.extract({snap("00011111")});
+  EXPECT_EQ(a.edge_position, b.edge_position);
+  EXPECT_EQ(a.bit, b.bit);
+}
+
+TEST(EntropyExtractor, NoEdgeReportsMiss) {
+  EntropyExtractor ex(8);
+  auto r = ex.extract({snap("11111111")});
+  EXPECT_FALSE(r.edge_found);
+  EXPECT_EQ(r.edge_position, -1);
+  r = ex.extract({snap("00000000")});
+  EXPECT_FALSE(r.edge_found);
+  // Two all-constant lines that XOR to all-ones: still no edge.
+  r = ex.extract({snap("11111111"), snap("00000000")});
+  EXPECT_FALSE(r.edge_found);
+}
+
+TEST(EntropyExtractor, DoubleEdgeDecodesFirstOnly) {
+  // Paper: "The entropy extractor always decodes the first edge and
+  // ignores the second one" (Figure 4b). First edge at position 1,
+  // second at position 5 -> output reflects position 1 (odd -> 1).
+  EntropyExtractor ex(8);
+  const auto r = ex.extract({snap("11000011")});
+  EXPECT_TRUE(r.edge_found);
+  EXPECT_EQ(r.edge_position, 1);
+  EXPECT_TRUE(r.bit);
+}
+
+TEST(EntropyExtractor, DoubleEdgeAcrossLines) {
+  // Edges in two different lines: the earlier (lower tap index) wins.
+  EntropyExtractor ex(8);
+  const auto r =
+      ex.extract({snap("11111100"), snap("11000000")});  // fold: 00111100
+  EXPECT_EQ(r.edge_position, 1);
+}
+
+TEST(EntropyExtractor, BubbleBehindEdgeIsIgnored) {
+  // A bubble deeper than the first edge does not change the output
+  // (priority decoding, Figure 4c).
+  EntropyExtractor ex(10);
+  const auto clean = ex.extract({snap("1110000000")});
+  const auto bubbled = ex.extract({snap("1110010000")});  // glitch at tap 5
+  EXPECT_EQ(clean.edge_position, bubbled.edge_position);
+  EXPECT_EQ(clean.bit, bubbled.bit);
+}
+
+TEST(EntropyExtractor, BubbleBeforeEdgeShiftsDecodedPosition) {
+  // A bubble in front of the true edge IS decoded as the first edge —
+  // the priority decoder cannot distinguish it; this is the residual
+  // metastability effect the design tolerates.
+  EntropyExtractor ex(10);
+  const auto r = ex.extract({snap("1011000000")});
+  EXPECT_EQ(r.edge_position, 0);
+}
+
+TEST(EntropyExtractor, DownsamplingMergesBins) {
+  EntropyExtractor ex(16, 4);
+  // Position 5 -> merged bin 1 -> odd -> bit 1.
+  auto r = ex.extract({snap("1111110000000000")});
+  EXPECT_EQ(r.edge_position, 5);
+  EXPECT_TRUE(r.bit);
+  // Position 2 -> merged bin 0 -> bit 0.
+  r = ex.extract({snap("1110000000000000")});
+  EXPECT_FALSE(r.bit);
+  // Position 11 -> merged bin 2 -> bit 0.
+  r = ex.extract({snap("1111111111110000")});
+  EXPECT_EQ(r.edge_position, 11);
+  EXPECT_FALSE(r.bit);
+}
+
+class ParitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParitySweep, NeighbouringPositionsAlternate) {
+  // The core digitization property: neighbouring (down-sampled) bins must
+  // decode to different bits (Section 4.2 "neighboring states of the TDC
+  // are encoded using different bits").
+  const int k = GetParam();
+  const int m = 32;
+  EntropyExtractor ex(m, k);
+  int prev_bin = -1;
+  bool prev_bit = false;
+  for (int pos = 0; pos + 1 < m; ++pos) {
+    std::string s(static_cast<std::size_t>(m), '0');
+    for (int j = 0; j <= pos; ++j) s[static_cast<std::size_t>(j)] = '1';
+    const auto r = ex.extract({snap(s)});
+    ASSERT_TRUE(r.edge_found);
+    ASSERT_EQ(r.edge_position, pos);
+    const int bin = pos / k;
+    if (prev_bin >= 0 && bin != prev_bin) {
+      EXPECT_NE(r.bit, prev_bit) << "bins " << prev_bin << " -> " << bin;
+    }
+    prev_bin = bin;
+    prev_bit = r.bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParitySweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace trng::core

@@ -1,0 +1,154 @@
+// Unit tests for fabric elaboration: timing and resource accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "fpga/fabric.hpp"
+
+namespace trng::fpga {
+namespace {
+
+TEST(Fabric, ElaborationIsDeterministicPerDie) {
+  Fabric a(DeviceGeometry{}, 42), b(DeviceGeometry{}, 42);
+  const auto fp = TrngFloorplan::canonical(a.geometry(), 3, 36);
+  const auto ea = a.elaborate(fp);
+  const auto eb = b.elaborate(fp);
+  EXPECT_EQ(ea.ro_stage_delay, eb.ro_stage_delay);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ea.lines[static_cast<std::size_t>(i)].tap_delay,
+              eb.lines[static_cast<std::size_t>(i)].tap_delay);
+  }
+}
+
+TEST(Fabric, DifferentDiesDiffer) {
+  Fabric a(DeviceGeometry{}, 1), b(DeviceGeometry{}, 2);
+  const auto fp = TrngFloorplan::canonical(a.geometry(), 3, 36);
+  EXPECT_NE(a.elaborate(fp).ro_stage_delay, b.elaborate(fp).ro_stage_delay);
+}
+
+TEST(Fabric, StageDelaysNearNominal) {
+  Fabric f(DeviceGeometry{}, 7);
+  const auto fp = TrngFloorplan::canonical(f.geometry(), 3, 36);
+  const auto e = f.elaborate(fp);
+  ASSERT_EQ(e.ro_stage_delay.size(), 3u);
+  for (Picoseconds d : e.ro_stage_delay) {
+    EXPECT_NEAR(d, 480.0, 480.0 * 0.25);  // within 25% of nominal
+  }
+  EXPECT_NEAR(e.ro_half_period(), 3 * 480.0, 3 * 480.0 * 0.2);
+}
+
+TEST(Fabric, CumulativeDelaysAreConsistent) {
+  Fabric f(DeviceGeometry{}, 11);
+  const auto fp = TrngFloorplan::canonical(f.geometry(), 3, 36);
+  const auto e = f.elaborate(fp);
+  for (const auto& line : e.lines) {
+    ASSERT_EQ(line.tap_delay.size(), 36u);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < line.tap_delay.size(); ++j) {
+      EXPECT_GT(line.tap_delay[j], 0.0);
+      sum += line.tap_delay[j];
+      EXPECT_NEAR(line.cumulative_delay[j], sum, 1e-9);
+    }
+  }
+}
+
+TEST(Fabric, MeanTapDelayMatchesPaperTStep) {
+  // Across many taps the mean effective bin should be ~t_step = 17 ps
+  // (16 ps in-slice + amortized inter-slice hand-off).
+  Fabric f(DeviceGeometry{}, 3);
+  TrngFloorplan fp;
+  fp.lines.push_back({0, 17, 24});  // 96 taps
+  fp.ro_stages.push_back({SliceCoord{0, 16}, 0});
+  const auto e = f.elaborate(fp);
+  common::RunningStats s;
+  for (Picoseconds d : e.lines[0].tap_delay) s.add(d);
+  EXPECT_NEAR(s.mean(), 17.0, 1.0);
+}
+
+TEST(Fabric, LineTotalDelayExceedsLutDelay) {
+  // m = 36 was chosen by the paper so the chain always spans more than one
+  // (slow) LUT delay: total ~612 ps >> 480 ps.
+  Fabric f(DeviceGeometry{}, 5);
+  const auto fp = TrngFloorplan::canonical(f.geometry(), 3, 36);
+  const auto e = f.elaborate(fp);
+  for (const auto& line : e.lines) {
+    EXPECT_GT(line.total_delay(), 550.0);
+    EXPECT_LT(line.total_delay(), 700.0);
+  }
+}
+
+TEST(Fabric, ResourceReportMatchesPaperK1) {
+  // Paper Table 2: complete design with k = 1 occupies 67 slices.
+  Fabric f(DeviceGeometry{}, 42);
+  const auto fp = TrngFloorplan::canonical(f.geometry(), 3, 36);
+  const auto e = f.elaborate(fp, /*downsample_k=*/1);
+  EXPECT_EQ(e.resources.slices, 67);
+  EXPECT_EQ(e.resources.carry4s, 27);
+  EXPECT_EQ(e.resources.flip_flops, 3 * 36 + 2);
+}
+
+TEST(Fabric, ResourceReportMatchesPaperK4) {
+  // Paper Table 2: k = 4 version occupies 40 slices.
+  Fabric f(DeviceGeometry{}, 42);
+  const auto fp = TrngFloorplan::canonical(f.geometry(), 3, 36);
+  const auto e = f.elaborate(fp, /*downsample_k=*/4);
+  EXPECT_EQ(e.resources.slices, 40);
+}
+
+TEST(Fabric, ElaborateRejectsBadDownsample) {
+  Fabric f(DeviceGeometry{}, 1);
+  const auto fp = TrngFloorplan::canonical(f.geometry(), 3, 36);
+  EXPECT_THROW(f.elaborate(fp, 0), std::invalid_argument);
+}
+
+TEST(Fabric, ElaborateValidatesFloorplan) {
+  Fabric f(DeviceGeometry{}, 1);
+  TrngFloorplan fp;
+  fp.lines.push_back({1, 17, 9});  // odd column
+  fp.ro_stages.push_back({SliceCoord{1, 16}, 0});
+  EXPECT_THROW(f.elaborate(fp), std::invalid_argument);
+}
+
+TEST(Fabric, IdealSpecHasEquidistantBins) {
+  Fabric f(DeviceGeometry{}, 99, ideal_fabric_spec());
+  const auto fp = TrngFloorplan::canonical(f.geometry(), 3, 36);
+  const auto e = f.elaborate(fp);
+  for (const auto& line : e.lines) {
+    for (Picoseconds d : line.tap_delay) EXPECT_DOUBLE_EQ(d, 17.0);
+    for (Picoseconds s : line.ff_clock_skew) EXPECT_DOUBLE_EQ(s, 0.0);
+  }
+  for (Picoseconds d : e.ro_stage_delay) EXPECT_DOUBLE_EQ(d, 480.0);
+}
+
+TEST(Fabric, IdealSpecIsDieIndependent) {
+  Fabric a(DeviceGeometry{}, 1, ideal_fabric_spec());
+  Fabric b(DeviceGeometry{}, 999, ideal_fabric_spec());
+  const auto fp = TrngFloorplan::canonical(a.geometry(), 3, 36);
+  EXPECT_EQ(a.elaborate(fp).ro_stage_delay, b.elaborate(fp).ro_stage_delay);
+}
+
+TEST(Fabric, WhiteSigmaPropagates) {
+  FabricSpec spec;
+  spec.lut.thermal_sigma_ps = 3.5;
+  Fabric f(DeviceGeometry{}, 1, spec);
+  const auto fp = TrngFloorplan::canonical(f.geometry(), 3, 36);
+  EXPECT_DOUBLE_EQ(f.elaborate(fp).stage_white_sigma_ps, 3.5);
+}
+
+class ExtractorResourceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtractorResourceSweep, SlicesShrinkWithK) {
+  const int k = GetParam();
+  Fabric f(DeviceGeometry{}, 42);
+  const auto fp = TrngFloorplan::canonical(f.geometry(), 3, 36);
+  const auto e = f.elaborate(fp, k);
+  // 3 (RO) + 27 (chains) + ceil(36/k)+1 (extractor)
+  EXPECT_EQ(e.resources.slices, 3 + 27 + (36 + k - 1) / k + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExtractorResourceSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 9, 12, 36));
+
+}  // namespace
+}  // namespace trng::fpga

@@ -1,0 +1,70 @@
+// Unit tests for the Gaussian distribution helpers (Eq. 4 of the paper).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/gaussian.hpp"
+
+namespace trng::common {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145705, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(normal_cdf(-6.0), 9.865876450377018e-10, 1e-18);
+}
+
+TEST(NormalCdf, ComplementIdentity) {
+  for (double x : {-8.0, -3.0, -0.5, 0.0, 0.5, 3.0, 8.0}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_sf(x), 1.0, 1e-14);
+    EXPECT_NEAR(normal_cdf(-x), normal_sf(x), 1e-15);
+  }
+}
+
+TEST(NormalSf, AccurateInFarTail) {
+  // normal_sf must not lose precision where 1 - cdf would cancel.
+  EXPECT_NEAR(normal_sf(8.0) / 6.220960574271786e-16, 1.0, 1e-9);
+}
+
+TEST(NormalPdf, KnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-15);
+  EXPECT_NEAR(normal_pdf(-2.5), normal_pdf(2.5), 0.0);  // even function
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {1e-10, 1e-6, 0.01, 0.025, 0.3, 0.5, 0.7, 0.975, 0.99,
+                   1.0 - 1e-6}) {
+    const double x = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(x), p, 1e-12) << "p = " << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.84134474606854293), 1.0, 1e-9);
+}
+
+TEST(NormalQuantile, RejectsOutOfDomain) {
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(-0.1), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.1), std::domain_error);
+}
+
+class QuantileSymmetry : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSymmetry, QuantileIsAntisymmetric) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 2e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileSymmetry,
+                         ::testing::Values(1e-8, 1e-4, 0.01, 0.1, 0.25, 0.4,
+                                           0.49));
+
+}  // namespace
+}  // namespace trng::common

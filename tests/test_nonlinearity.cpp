@@ -1,0 +1,128 @@
+// Unit tests for the TDC non-linearity (DNL) analysis helpers.
+#include <gtest/gtest.h>
+
+#include "fpga/fabric.hpp"
+#include "model/nonlinearity.hpp"
+
+namespace trng::model {
+namespace {
+
+fpga::ElaboratedDelayLine synthetic_line(std::initializer_list<double> taps) {
+  fpga::ElaboratedDelayLine line;
+  double cum = 0.0;
+  for (double d : taps) {
+    cum += d;
+    line.tap_delay.push_back(d);
+    line.cumulative_delay.push_back(cum);
+    line.ff_clock_skew.push_back(0.0);
+  }
+  return line;
+}
+
+TEST(EffectiveBinWidths, MatchesTapDelaysWithoutSkew) {
+  const auto line = synthetic_line({10.0, 20.0, 15.0, 25.0, 10.0});
+  const auto widths = effective_bin_widths(line, 1);
+  // Width between taps j and j+1 is tap_delay[j+1] when skew is zero.
+  ASSERT_EQ(widths.size(), 4u);
+  EXPECT_DOUBLE_EQ(widths[0], 20.0);
+  EXPECT_DOUBLE_EQ(widths[1], 15.0);
+  EXPECT_DOUBLE_EQ(widths[2], 25.0);
+  EXPECT_DOUBLE_EQ(widths[3], 10.0);
+}
+
+TEST(EffectiveBinWidths, SkewModulatesWidths) {
+  auto line = synthetic_line({10.0, 20.0});
+  line.ff_clock_skew = {0.0, 5.0};
+  // s_0 - s_1 = (0 - 10) - (5 - 30) = 15? s_j = skew_j - cum_j:
+  // s_0 = -10, s_1 = 5 - 30 = -25; width = 15.
+  const auto widths = effective_bin_widths(line, 1);
+  ASSERT_EQ(widths.size(), 1u);
+  EXPECT_DOUBLE_EQ(widths[0], 15.0);
+}
+
+TEST(EffectiveBinWidths, MergingSumsGroups) {
+  const auto line = synthetic_line({10.0, 20.0, 15.0, 25.0, 10.0});
+  const auto merged = effective_bin_widths(line, 2);
+  ASSERT_EQ(merged.size(), 2u);  // 4 raw bins -> 2 merged, none dropped
+  EXPECT_DOUBLE_EQ(merged[0], 35.0);
+  EXPECT_DOUBLE_EQ(merged[1], 35.0);
+}
+
+TEST(EffectiveBinWidths, RejectsBadArguments) {
+  const auto line = synthetic_line({10.0, 20.0});
+  EXPECT_THROW(effective_bin_widths(line, 0), std::invalid_argument);
+  EXPECT_THROW(effective_bin_widths(line, 2), std::invalid_argument);
+}
+
+TEST(AnalyzeDnl, UniformLineHasZeroDnl) {
+  const auto line = synthetic_line({17.0, 17.0, 17.0, 17.0, 17.0});
+  const auto r = analyze_dnl(line, 1);
+  EXPECT_DOUBLE_EQ(r.mean_bin_ps, 17.0);
+  EXPECT_DOUBLE_EQ(r.min_bin_ps, 17.0);
+  EXPECT_DOUBLE_EQ(r.max_bin_ps, 17.0);
+  EXPECT_DOUBLE_EQ(r.dnl_rms, 0.0);
+  EXPECT_DOUBLE_EQ(r.dnl_peak, 0.0);
+}
+
+TEST(AnalyzeDnl, KnownStatistics) {
+  // Bins 10 and 30: mean 20, DNL = (-0.5, +0.5): rms 0.5, peak 0.5.
+  const auto line = synthetic_line({5.0, 10.0, 30.0});
+  const auto r = analyze_dnl(line, 1);
+  EXPECT_DOUBLE_EQ(r.mean_bin_ps, 20.0);
+  EXPECT_DOUBLE_EQ(r.min_bin_ps, 10.0);
+  EXPECT_DOUBLE_EQ(r.max_bin_ps, 30.0);
+  EXPECT_DOUBLE_EQ(r.dnl_rms, 0.5);
+  EXPECT_DOUBLE_EQ(r.dnl_peak, 0.5);
+}
+
+TEST(AnalyzeDnl, MergingImprovesRealFabricDnl) {
+  fpga::Fabric fabric(fpga::DeviceGeometry{}, 42);
+  const auto fp =
+      fpga::TrngFloorplan::canonical(fabric.geometry(), 3, 36, 0, 17);
+  const auto e = fabric.elaborate(fp);
+  const auto dnl1 = analyze_dnl(e.lines[0], 1);
+  const auto dnl4 = analyze_dnl(e.lines[0], 4);
+  EXPECT_LT(dnl4.dnl_peak, 0.5 * dnl1.dnl_peak);  // Section 5.2's k=4 fix
+  EXPECT_NEAR(dnl4.mean_bin_ps, 4.0 * dnl1.mean_bin_ps, 1.5);
+}
+
+TEST(WorstBinWidth, IncludesMarginAndMaxAcrossLines) {
+  fpga::Fabric fabric(fpga::DeviceGeometry{}, 7);
+  const auto fp =
+      fpga::TrngFloorplan::canonical(fabric.geometry(), 3, 36, 0, 17);
+  const auto e = fabric.elaborate(fp);
+  const double base = worst_bin_width_ps(e, 1, 0.0);
+  const double with_margin = worst_bin_width_ps(e, 1, 3.0);
+  EXPECT_DOUBLE_EQ(with_margin, base + 6.0);
+  double max_line = 0.0;
+  for (const auto& line : e.lines) {
+    max_line = std::max(max_line, analyze_dnl(line, 1).max_bin_ps);
+  }
+  EXPECT_DOUBLE_EQ(base, max_line);
+}
+
+TEST(DnlAwareBound, NeverExceedsIdealBound) {
+  fpga::Fabric fabric(fpga::DeviceGeometry{}, 42);
+  const auto fp =
+      fpga::TrngFloorplan::canonical(fabric.geometry(), 3, 36, 0, 17);
+  const auto e = fabric.elaborate(fp);
+  StochasticModel m{core::PlatformParams{}};
+  for (double t_a : {10000.0, 20000.0, 50000.0}) {
+    EXPECT_LE(dnl_aware_entropy_bound(m, e, t_a, 1, 3.0),
+              m.folded_entropy_lower_bound(t_a, 1) + 1e-9)
+        << t_a;
+  }
+}
+
+TEST(DnlAwareBound, IdealFabricMatchesFoldedBound) {
+  fpga::Fabric fabric(fpga::DeviceGeometry{}, 1, fpga::ideal_fabric_spec());
+  const auto fp =
+      fpga::TrngFloorplan::canonical(fabric.geometry(), 3, 36, 0, 17);
+  const auto e = fabric.elaborate(fp);
+  StochasticModel m{core::PlatformParams{}};
+  EXPECT_NEAR(dnl_aware_entropy_bound(m, e, 20000.0, 1, 0.0),
+              m.folded_entropy_lower_bound(20000.0, 1), 0.01);
+}
+
+}  // namespace
+}  // namespace trng::model

@@ -1,0 +1,107 @@
+// Unit tests for TRNG floorplanning and placement validation.
+#include <gtest/gtest.h>
+
+#include "fpga/placement.hpp"
+
+namespace trng::fpga {
+namespace {
+
+TEST(DelayLinePlacement, TapToSliceMapping) {
+  DelayLinePlacement line{2, 17, 9};
+  EXPECT_EQ(line.taps(), 36);
+  EXPECT_EQ(line.slice_of_tap(0), (SliceCoord{2, 17}));
+  EXPECT_EQ(line.slice_of_tap(3), (SliceCoord{2, 17}));
+  EXPECT_EQ(line.slice_of_tap(4), (SliceCoord{2, 18}));
+  EXPECT_EQ(line.slice_of_tap(35), (SliceCoord{2, 25}));
+}
+
+TEST(TrngFloorplan, CanonicalMatchesPaperLayout) {
+  DeviceGeometry g;
+  const auto fp = TrngFloorplan::canonical(g, 3, 36);
+  ASSERT_EQ(fp.lines.size(), 3u);
+  ASSERT_EQ(fp.ro_stages.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(fp.lines[static_cast<std::size_t>(i)].col, 2 * i);
+    EXPECT_EQ(fp.lines[static_cast<std::size_t>(i)].carry4_count, 9);
+    // RO stage directly below its line (paper Section 5).
+    EXPECT_EQ(fp.ro_stages[static_cast<std::size_t>(i)].slice.row,
+              fp.lines[static_cast<std::size_t>(i)].start_row - 1);
+    EXPECT_EQ(fp.ro_stages[static_cast<std::size_t>(i)].slice.col,
+              fp.lines[static_cast<std::size_t>(i)].col);
+  }
+}
+
+TEST(TrngFloorplan, CanonicalRejectsBadParameters) {
+  DeviceGeometry g;
+  EXPECT_THROW(TrngFloorplan::canonical(g, 0, 36), std::invalid_argument);
+  EXPECT_THROW(TrngFloorplan::canonical(g, 3, 35), std::invalid_argument);
+  EXPECT_THROW(TrngFloorplan::canonical(g, 3, 0), std::invalid_argument);
+  EXPECT_THROW(TrngFloorplan::canonical(g, 3, 36, 0, 0),
+               std::invalid_argument);  // no row below for the RO
+}
+
+TEST(TrngFloorplan, ValidateRejectsOddColumn) {
+  DeviceGeometry g;
+  TrngFloorplan fp;
+  fp.lines.push_back({1, 17, 9});  // odd column: no carry chain
+  fp.ro_stages.push_back({SliceCoord{1, 16}, 0});
+  EXPECT_THROW(fp.validate(g), std::invalid_argument);
+}
+
+TEST(TrngFloorplan, ValidateRejectsOffDeviceChain) {
+  DeviceGeometry g;
+  TrngFloorplan fp;
+  fp.lines.push_back({0, 125, 9});  // rows 125..133 > 127
+  fp.ro_stages.push_back({SliceCoord{0, 124}, 0});
+  EXPECT_THROW(fp.validate(g), std::invalid_argument);
+}
+
+TEST(TrngFloorplan, ValidateRejectsMismatchedStages) {
+  DeviceGeometry g;
+  TrngFloorplan fp;
+  fp.lines.push_back({0, 17, 9});
+  EXPECT_THROW(fp.validate(g), std::invalid_argument);  // no RO stage
+}
+
+TEST(TrngFloorplan, ValidateRejectsBadLutIndex) {
+  DeviceGeometry g;
+  TrngFloorplan fp;
+  fp.lines.push_back({0, 17, 9});
+  fp.ro_stages.push_back({SliceCoord{0, 16}, 4});
+  EXPECT_THROW(fp.validate(g), std::invalid_argument);
+}
+
+TEST(TrngFloorplan, ValidateRejectsEmpty) {
+  DeviceGeometry g;
+  TrngFloorplan fp;
+  EXPECT_THROW(fp.validate(g), std::invalid_argument);
+}
+
+TEST(TrngFloorplan, SingleClockRegionDetection) {
+  DeviceGeometry g;
+  // 9 CARRY4 rows starting at 17: rows 17..25, all inside region 1.
+  const auto fp_ok = TrngFloorplan::canonical(g, 3, 36, 0, 17);
+  EXPECT_TRUE(fp_ok.single_clock_region(g));
+  // Starting at 10: rows 10..18 straddle regions 0 and 1.
+  const auto fp_bad = TrngFloorplan::canonical(g, 3, 36, 0, 10);
+  EXPECT_FALSE(fp_bad.single_clock_region(g));
+}
+
+class CanonicalSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CanonicalSweep, AllCanonicalFloorplansValidate) {
+  const auto [n, m] = GetParam();
+  DeviceGeometry g;
+  const auto fp = TrngFloorplan::canonical(g, n, m);
+  EXPECT_EQ(fp.lines.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(fp.lines.front().taps(), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CanonicalSweep,
+    ::testing::Combine(::testing::Values(1, 3, 5, 7),
+                       ::testing::Values(4, 32, 36, 64, 128)));
+
+}  // namespace
+}  // namespace trng::fpga

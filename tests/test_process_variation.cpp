@@ -1,0 +1,92 @@
+// Unit tests for the static process-variation model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "fpga/process_variation.hpp"
+
+namespace trng::fpga {
+namespace {
+
+TEST(ProcessVariation, DeterministicPerDie) {
+  DeviceGeometry g;
+  ProcessVariationModel a(42), b(42);
+  for (int col = 0; col < 8; ++col) {
+    for (int row = 0; row < 8; ++row) {
+      EXPECT_DOUBLE_EQ(a.delay_multiplier(g, {col, row}, 0, 0.05),
+                       b.delay_multiplier(g, {col, row}, 0, 0.05));
+    }
+  }
+}
+
+TEST(ProcessVariation, DifferentDiesDiffer) {
+  DeviceGeometry g;
+  ProcessVariationModel a(1), b(2);
+  int diffs = 0;
+  for (int row = 0; row < 32; ++row) {
+    if (a.delay_multiplier(g, {0, row}, 0, 0.05) !=
+        b.delay_multiplier(g, {0, row}, 0, 0.05)) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 28);
+}
+
+TEST(ProcessVariation, ElementsWithinSliceAreIndependent) {
+  DeviceGeometry g;
+  ProcessVariationModel m(7);
+  const double a = m.delay_multiplier(g, {0, 0}, 0, 0.05);
+  const double b = m.delay_multiplier(g, {0, 0}, 1, 0.05);
+  EXPECT_NE(a, b);
+}
+
+TEST(ProcessVariation, MeanNearOneSigmaAsConfigured) {
+  DeviceGeometry g;
+  ProcessVariationModel m(99, /*gradient_rel=*/0.0);
+  common::RunningStats s;
+  for (int col = 0; col < 64; col += 2) {
+    for (int row = 0; row < 128; ++row) {
+      for (int e = 0; e < 4; ++e) {
+        s.add(m.delay_multiplier(g, {col, row}, e, 0.05));
+      }
+    }
+  }
+  EXPECT_NEAR(s.mean(), 1.0, 0.005);
+  EXPECT_NEAR(s.stddev(), 0.05, 0.005);
+}
+
+TEST(ProcessVariation, ZeroSigmaZeroGradientIsExactlyOne) {
+  DeviceGeometry g;
+  ProcessVariationModel m(5, 0.0);
+  EXPECT_DOUBLE_EQ(m.delay_multiplier(g, {10, 10}, 2, 0.0), 1.0);
+}
+
+TEST(ProcessVariation, GradientTiltsTheDie) {
+  DeviceGeometry g;
+  // With zero random sigma the only variation is the systematic tilt;
+  // opposite corners must differ by up to ~gradient.
+  ProcessVariationModel m(123, 0.10);
+  const double c00 = m.delay_multiplier(g, {0, 0}, 0, 0.0);
+  const double c11 = m.delay_multiplier(g, {63, 127}, 0, 0.0);
+  EXPECT_NE(c00, c11);
+  EXPECT_NEAR(c00 + c11, 2.0, 1e-9);  // tilt is antisymmetric about center
+  EXPECT_LE(std::fabs(c00 - c11), 0.1 * std::sqrt(2.0) + 1e-9);
+}
+
+TEST(ProcessVariation, MultiplierIsPositiveEvenForHugeSigma) {
+  DeviceGeometry g;
+  ProcessVariationModel m(3);
+  for (int row = 0; row < 64; ++row) {
+    EXPECT_GT(m.delay_multiplier(g, {0, row}, 0, 10.0), 0.0);
+  }
+}
+
+TEST(ProcessVariation, RejectsOffDevice) {
+  DeviceGeometry g;
+  ProcessVariationModel m(1);
+  EXPECT_THROW(m.delay_multiplier(g, {64, 0}, 0, 0.05), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace trng::fpga

@@ -1,0 +1,112 @@
+// Unit tests for the deterministic simulation PRNGs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace trng::common {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for seed 0 (Steele et al. / Vigna reference code).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro, DeterministicBySeed) {
+  Xoshiro256StarStar a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 64; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro, DoubleInUnitInterval) {
+  Xoshiro256StarStar rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, OpenDoubleNeverZeroOrOne) {
+  Xoshiro256StarStar rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double_open();
+    EXPECT_GT(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, NextBelowRespectsBound) {
+  Xoshiro256StarStar rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  // bound 1 always yields 0.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro, NextBelowIsRoughlyUniform) {
+  Xoshiro256StarStar rng(4);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBound] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBound)];
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kDraws / kBound, 5.0 * std::sqrt(kDraws / kBound));
+  }
+}
+
+TEST(Xoshiro, GaussianMoments) {
+  Xoshiro256StarStar rng(5);
+  constexpr int kN = 200000;
+  double sum = 0.0, sum2 = 0.0, sum3 = 0.0, sum4 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+    sum3 += g * g * g;
+    sum4 += g * g * g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.02);
+  EXPECT_NEAR(sum3 / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum4 / kN, 3.0, 0.1);  // kurtosis of the normal
+}
+
+TEST(Xoshiro, JumpYieldsDisjointStreams) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b = a;
+  b.jump();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(a.next());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(seen.count(b.next()), 0u) << "jumped stream overlaps original";
+  }
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256StarStar>);
+  EXPECT_EQ(Xoshiro256StarStar::min(), 0u);
+  EXPECT_EQ(Xoshiro256StarStar::max(), ~0ULL);
+}
+
+}  // namespace
+}  // namespace trng::common

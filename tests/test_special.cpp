@@ -1,0 +1,81 @@
+// Unit tests for the incomplete-gamma machinery behind the NIST p-values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/special.hpp"
+
+namespace trng::common {
+namespace {
+
+TEST(Igam, ComplementIdentity) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 100.0}) {
+    for (double x : {0.01, 0.5, 1.0, 3.0, 10.0, 50.0}) {
+      EXPECT_NEAR(igam(a, x) + igamc(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(Igamc, ExponentialSpecialCase) {
+  // Q(1, x) = exp(-x) exactly.
+  for (double x : {0.0, 0.1, 1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(igamc(1.0, x), std::exp(-x), 1e-13);
+  }
+}
+
+TEST(Igamc, HalfIntegerSpecialCase) {
+  // Q(1/2, x) = erfc(sqrt(x)).
+  for (double x : {0.01, 0.25, 1.0, 4.0, 9.0}) {
+    EXPECT_NEAR(igamc(0.5, x), std::erfc(std::sqrt(x)), 1e-12);
+  }
+}
+
+TEST(Igamc, Boundaries) {
+  EXPECT_DOUBLE_EQ(igamc(3.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(igam(3.0, 0.0), 0.0);
+  EXPECT_NEAR(igamc(2.0, 1e6), 0.0, 1e-300);
+}
+
+TEST(Igamc, RejectsBadArguments) {
+  EXPECT_THROW(igamc(0.0, 1.0), std::domain_error);
+  EXPECT_THROW(igamc(-1.0, 1.0), std::domain_error);
+  EXPECT_THROW(igamc(1.0, -1.0), std::domain_error);
+  EXPECT_THROW(igam(0.0, 1.0), std::domain_error);
+}
+
+TEST(Igamc, IsMonotoneInX) {
+  double prev = 1.0;
+  for (double x = 0.0; x < 30.0; x += 0.5) {
+    const double q = igamc(4.0, x);
+    EXPECT_LE(q, prev + 1e-15);
+    prev = q;
+  }
+}
+
+TEST(ChiSquareSf, MatchesKnownQuantiles) {
+  // Classic table entries: P[chi2_1 >= 3.841] ~ 0.05, etc.
+  EXPECT_NEAR(chi_square_sf(3.841458820694124, 1.0), 0.05, 1e-9);
+  EXPECT_NEAR(chi_square_sf(5.991464547107979, 2.0), 0.05, 1e-9);
+  EXPECT_NEAR(chi_square_sf(16.918977604620448, 9.0), 0.05, 1e-9);
+  EXPECT_NEAR(chi_square_sf(23.209251158954356, 10.0), 0.01, 1e-9);
+}
+
+TEST(ChiSquareSf, NegativeStatisticIsCertain) {
+  EXPECT_DOUBLE_EQ(chi_square_sf(-1.0, 5.0), 1.0);
+}
+
+TEST(LogBinomial, SmallValues) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 10)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(52, 5)), 2598960.0, 1e-3);
+}
+
+TEST(LogBinomial, SymmetryAndDomain) {
+  EXPECT_NEAR(log_binomial(100, 30), log_binomial(100, 70), 1e-9);
+  EXPECT_THROW(log_binomial(5, 6), std::domain_error);
+}
+
+}  // namespace
+}  // namespace trng::common

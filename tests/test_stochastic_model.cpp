@@ -1,0 +1,238 @@
+// Unit tests for the stochastic model (Eqs. 1-8) and its folded extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "model/stochastic_model.hpp"
+
+namespace trng::model {
+namespace {
+
+StochasticModel paper_model() { return StochasticModel(core::PlatformParams{}); }
+
+TEST(StochasticModel, RejectsInvalidPlatform) {
+  core::PlatformParams p;
+  p.d0_lut_ps = 0.0;
+  EXPECT_THROW(StochasticModel{p}, std::invalid_argument);
+}
+
+TEST(StochasticModel, Eq1SigmaAccumulation) {
+  const auto m = paper_model();
+  // sigma_acc = 2 * sqrt(tA / 480).
+  EXPECT_NEAR(m.sigma_acc(480.0), 2.0, 1e-12);
+  EXPECT_NEAR(m.sigma_acc(10000.0), 2.0 * std::sqrt(10000.0 / 480.0), 1e-12);
+  EXPECT_DOUBLE_EQ(m.sigma_acc(0.0), 0.0);
+  EXPECT_THROW(m.sigma_acc(-1.0), std::invalid_argument);
+  // Quadrupling tA doubles sigma.
+  EXPECT_NEAR(m.sigma_acc(40000.0), 2.0 * m.sigma_acc(10000.0), 1e-12);
+}
+
+TEST(StochasticModel, Eq3DeterministicLimit) {
+  const auto m = paper_model();
+  EXPECT_DOUBLE_EQ(m.p_one(0.0, 0.0), 1.0);      // dead center of a 1-bin
+  EXPECT_DOUBLE_EQ(m.p_one(17.0, 0.0), 0.0);     // center of the next bin
+  EXPECT_DOUBLE_EQ(m.p_one(34.0, 0.0), 1.0);     // two bins over
+}
+
+TEST(StochasticModel, Eq3LargeSigmaLimit) {
+  const auto m = paper_model();
+  // sigma >> t_step: the Gaussian covers many alternating bins -> 1/2.
+  EXPECT_NEAR(m.p_one(0.0, 500.0), 0.5, 1e-6);
+  EXPECT_NEAR(m.p_one(8.0, 500.0), 0.5, 1e-6);
+}
+
+TEST(StochasticModel, Eq3IsPeriodicAndSymmetric) {
+  const auto m = paper_model();
+  const double sigma = 9.0;
+  for (double tau : {0.0, 3.0, 8.0}) {
+    // Period 2 * t_step.
+    EXPECT_NEAR(m.p_one(tau, sigma), m.p_one(tau + 34.0, sigma), 1e-12);
+    // Even in tau.
+    EXPECT_NEAR(m.p_one(tau, sigma), m.p_one(-tau, sigma), 1e-12);
+    // Shifting by one bin swaps the roles of 0 and 1.
+    EXPECT_NEAR(m.p_one(tau, sigma) + m.p_one(tau + 17.0, sigma), 1.0, 1e-9);
+  }
+}
+
+TEST(StochasticModel, Figure7Shape) {
+  // Figure 7: entropy dips at tau = 0 and rises to ~1 at tau = +-t/2;
+  // larger sigma_acc flattens the curve toward 1.
+  const auto m = paper_model();
+  const double t = 17.0;
+  for (double frac : {1.0, 0.5, 1.0 / 3.0}) {
+    const double sigma = frac * t;
+    const double h_center =
+        common::binary_entropy(m.p_one(0.0, sigma));
+    const double h_edge =
+        common::binary_entropy(m.p_one(t / 2.0, sigma));
+    EXPECT_LT(h_center, h_edge);
+    EXPECT_NEAR(h_edge, 1.0, 1e-6);  // P1 = 0.5 exactly at the boundary
+  }
+  // Monotone in sigma at tau = 0.
+  const double h1 = common::binary_entropy(m.p_one(0.0, t));
+  const double h2 = common::binary_entropy(m.p_one(0.0, t / 2.0));
+  const double h3 = common::binary_entropy(m.p_one(0.0, t / 3.0));
+  EXPECT_GT(h1, h2);
+  EXPECT_GT(h2, h3);
+  // Model values at tau = 0: H ~ 0.9999 for sigma_acc = t,
+  // 0.898 for t/2, 0.567 for t/3 (Figure 7's curves dip accordingly).
+  EXPECT_GT(h1, 0.999);
+  EXPECT_NEAR(h2, 0.898, 1e-2);
+  EXPECT_NEAR(h3, 0.567, 1e-2);
+}
+
+TEST(StochasticModel, EntropyBoundIsWorstCaseOverTau) {
+  const auto m = paper_model();
+  const double t_a = 10000.0;
+  const double bound = m.entropy_lower_bound(t_a, 1);
+  for (double tau = -8.5; tau <= 8.5; tau += 0.5) {
+    EXPECT_GE(m.shannon_entropy(tau, t_a, 1) + 1e-12, bound) << tau;
+  }
+}
+
+TEST(StochasticModel, Table1RawEntropies) {
+  // H_RAW of Table 1 recomputed from the model (with the paper's stated
+  // platform parameters; see EXPERIMENTS.md for the sigma discussion).
+  const auto m = paper_model();
+  EXPECT_NEAR(m.entropy_lower_bound(10000.0, 1), 0.931, 0.002);
+  EXPECT_NEAR(m.entropy_lower_bound(20000.0, 1), 0.996, 0.002);
+  EXPECT_NEAR(m.entropy_lower_bound(10000.0, 4), 0.003, 0.002);
+  EXPECT_NEAR(m.entropy_lower_bound(50000.0, 4), 0.456, 0.01);
+  EXPECT_NEAR(m.entropy_lower_bound(100000.0, 4), 0.792, 0.01);
+  EXPECT_NEAR(m.entropy_lower_bound(200000.0, 4), 0.966, 0.005);
+}
+
+TEST(StochasticModel, EntropyMonotoneInAccumulationTime) {
+  const auto m = paper_model();
+  double prev = 0.0;
+  for (double t_a = 5000.0; t_a <= 320000.0; t_a *= 2.0) {
+    const double h = m.entropy_lower_bound(t_a, 1);
+    EXPECT_GE(h + 1e-12, prev);
+    prev = h;
+  }
+}
+
+TEST(StochasticModel, Eq6BiasConsistency) {
+  const auto m = paper_model();
+  const double t_a = 10000.0;
+  const double p1 = m.p_one(0.0, m.sigma_acc(t_a), 1);
+  EXPECT_NEAR(m.worst_case_bias(t_a, 1), std::max(p1, 1.0 - p1) - 0.5, 1e-12);
+}
+
+TEST(StochasticModel, Eq7XorBias) {
+  EXPECT_DOUBLE_EQ(StochasticModel::xor_bias(0.25, 1), 0.25);
+  EXPECT_NEAR(StochasticModel::xor_bias(0.25, 2), 2.0 * 0.0625, 1e-12);
+  EXPECT_NEAR(StochasticModel::xor_bias(0.1, 3), 4.0 * 1e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(StochasticModel::xor_bias(0.0, 5), 0.0);
+  EXPECT_THROW(StochasticModel::xor_bias(0.25, 0), std::invalid_argument);
+  EXPECT_THROW(StochasticModel::xor_bias(0.7, 2), std::domain_error);
+  // Deep compression must not underflow to garbage.
+  EXPECT_GT(StochasticModel::xor_bias(0.49, 64), 0.0);
+  EXPECT_LT(StochasticModel::xor_bias(0.49, 64), 0.5);
+}
+
+TEST(StochasticModel, PostProcessingRecoversEntropy) {
+  // Table 1: every viable design point reaches H_NEW = 0.999 with its
+  // n_NIST compression rate.
+  const auto m = paper_model();
+  EXPECT_GT(m.entropy_after_postprocessing(10000.0, 1, 7), 0.999);
+  // The k=4 / 50 ns row lands at 0.997 with our sigma_LUT = 2 ps; the
+  // paper's 0.999 is consistent with its effective sigma ~ 2.8 ps (see
+  // EXPERIMENTS.md).
+  EXPECT_GT(m.entropy_after_postprocessing(50000.0, 4, 13), 0.997);
+  EXPECT_GT(m.entropy_after_postprocessing(100000.0, 4, 10), 0.999);
+  EXPECT_GT(m.entropy_after_postprocessing(200000.0, 4, 6), 0.999);
+  // And the k=4 / 10 ns point is hopeless even at np = 16 ("NA" row).
+  EXPECT_LT(m.entropy_after_postprocessing(10000.0, 4, 16), 0.9);
+}
+
+TEST(StochasticModel, Eq8ImprovementFactors) {
+  const auto m = paper_model();
+  EXPECT_NEAR(m.improvement_factor(1), 797.0, 1.0);   // paper: 797
+  EXPECT_NEAR(m.improvement_factor(4), 49.8, 0.1);    // paper: 49.8
+  EXPECT_THROW(m.improvement_factor(0), std::invalid_argument);
+}
+
+TEST(StochasticModel, ThroughputFormula) {
+  const auto m = paper_model();
+  EXPECT_NEAR(m.throughput_bps(1, 7), 14.29e6, 0.01e6);   // 14.3 Mb/s
+  EXPECT_NEAR(m.throughput_bps(2, 7), 7.14e6, 0.01e6);    // 7.14 Mb/s
+  EXPECT_NEAR(m.throughput_bps(5, 13), 1.538e6, 0.01e6);  // 1.53 Mb/s
+  EXPECT_NEAR(m.throughput_bps(10, 10), 1.0e6, 1.0);      // 1 Mb/s
+  EXPECT_NEAR(m.throughput_bps(20, 6), 0.833e6, 0.001e6); // 0.83 Mb/s
+  EXPECT_THROW(m.throughput_bps(0, 1), std::invalid_argument);
+}
+
+TEST(FoldedModel, AgreesWithEq3FarFromWrapBoundary) {
+  // With a huge wrap and tau far from the boundary (>> sigma), no wrap
+  // image carries mass and the folded model reduces to Eq. 3.
+  const auto m = paper_model();
+  const double sigma = 9.13;
+  for (double tau : {200.0, 204.0, 208.0}) {
+    EXPECT_NEAR(m.p_one_folded(tau, sigma, 1, 1.0e9), m.p_one(tau, sigma, 1),
+                1e-9);
+  }
+}
+
+TEST(FoldedModel, BoundNeverExceedsEq3Bound) {
+  const auto m = paper_model();
+  for (int k : {1, 4}) {
+    for (double t_a : {10000.0, 50000.0, 100000.0, 200000.0}) {
+      EXPECT_LE(m.folded_entropy_lower_bound(t_a, k),
+                m.entropy_lower_bound(t_a, k) + 1e-6)
+          << "k=" << k << " tA=" << t_a;
+    }
+  }
+}
+
+TEST(FoldedModel, K4WrapPocketCollapsesWorstCase) {
+  // d0/(k*t_step) = 480/68 ~ 7.06: the wrap image creates a same-parity
+  // pocket and the folded worst case sits far below Eq. 3's.
+  const auto m = paper_model();
+  EXPECT_LT(m.folded_entropy_lower_bound(200000.0, 4),
+            0.6 * m.entropy_lower_bound(200000.0, 4));
+  // k = 1 (d0/t_step ~ 28.2: the same-parity pocket is only the ~4 ps
+  // fractional sliver): mildly affected at 10 ns, negligible by 50 ns.
+  EXPECT_GT(m.folded_entropy_lower_bound(10000.0, 1), 0.8);
+  EXPECT_GT(m.folded_entropy_lower_bound(50000.0, 1), 0.99);
+}
+
+TEST(FoldedModel, DeterministicLimitMatchesParity) {
+  const auto m = paper_model();
+  // Eq. 3 convention: the bin centered at 0 decodes '1'.
+  EXPECT_DOUBLE_EQ(m.p_one_folded(5.0, 0.0, 1, 480.0), 1.0);
+  // Next bin over: '0'.
+  EXPECT_DOUBLE_EQ(m.p_one_folded(20.0, 0.0, 1, 480.0), 0.0);
+  // Wrapped: tau = -5 maps to 475 -> bin index 28 (even) -> '1'.
+  EXPECT_DOUBLE_EQ(m.p_one_folded(-5.0, 0.0, 1, 480.0), 1.0);
+}
+
+TEST(FoldedModel, RejectsBadArguments) {
+  const auto m = paper_model();
+  EXPECT_THROW(m.p_one_folded(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(m.p_one_folded(0.0, 1.0, 1, 5.0), std::invalid_argument);
+  EXPECT_THROW(m.folded_entropy_lower_bound(1000.0, 1, 0.0, 1),
+               std::invalid_argument);
+}
+
+class ProbabilityRange : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProbabilityRange, POneAlwaysInUnitInterval) {
+  const auto m = paper_model();
+  const double sigma = GetParam();
+  for (double tau = -40.0; tau <= 40.0; tau += 1.7) {
+    const double p = m.p_one(tau, sigma, 1);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    const double pf = m.p_one_folded(tau, sigma, 1);
+    EXPECT_GE(pf, 0.0);
+    EXPECT_LE(pf, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ProbabilityRange,
+                         ::testing::Values(0.1, 1.0, 5.0, 9.13, 17.0, 60.0));
+
+}  // namespace
+}  // namespace trng::model
