@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_environment"
+  "../bench/ablation_environment.pdb"
+  "CMakeFiles/ablation_environment.dir/ablation_environment.cpp.o"
+  "CMakeFiles/ablation_environment.dir/ablation_environment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

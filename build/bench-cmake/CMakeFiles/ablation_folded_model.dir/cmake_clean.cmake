@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_folded_model"
+  "../bench/ablation_folded_model.pdb"
+  "CMakeFiles/ablation_folded_model.dir/ablation_folded_model.cpp.o"
+  "CMakeFiles/ablation_folded_model.dir/ablation_folded_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_folded_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_nonlinearity"
+  "../bench/ablation_nonlinearity.pdb"
+  "CMakeFiles/ablation_nonlinearity.dir/ablation_nonlinearity.cpp.o"
+  "CMakeFiles/ablation_nonlinearity.dir/ablation_nonlinearity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nonlinearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_platforms"
+  "../bench/ablation_platforms.pdb"
+  "CMakeFiles/ablation_platforms.dir/ablation_platforms.cpp.o"
+  "CMakeFiles/ablation_platforms.dir/ablation_platforms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_postprocessing"
+  "../bench/ablation_postprocessing.pdb"
+  "CMakeFiles/ablation_postprocessing.dir/ablation_postprocessing.cpp.o"
+  "CMakeFiles/ablation_postprocessing.dir/ablation_postprocessing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_postprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/eq8_improvement"
+  "../bench/eq8_improvement.pdb"
+  "CMakeFiles/eq8_improvement.dir/eq8_improvement.cpp.o"
+  "CMakeFiles/eq8_improvement.dir/eq8_improvement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq8_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

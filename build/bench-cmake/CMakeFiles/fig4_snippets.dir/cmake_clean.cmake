@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_snippets"
+  "../bench/fig4_snippets.pdb"
+  "CMakeFiles/fig4_snippets.dir/fig4_snippets.cpp.o"
+  "CMakeFiles/fig4_snippets.dir/fig4_snippets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_snippets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_entropy_vs_tau"
+  "../bench/fig7_entropy_vs_tau.pdb"
+  "CMakeFiles/fig7_entropy_vs_tau.dir/fig7_entropy_vs_tau.cpp.o"
+  "CMakeFiles/fig7_entropy_vs_tau.dir/fig7_entropy_vs_tau.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_entropy_vs_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/platform_params"
+  "../bench/platform_params.pdb"
+  "CMakeFiles/platform_params.dir/platform_params.cpp.o"
+  "CMakeFiles/platform_params.dir/platform_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_design_versions.cpp" "bench-cmake/CMakeFiles/table1_design_versions.dir/table1_design_versions.cpp.o" "gcc" "bench-cmake/CMakeFiles/table1_design_versions.dir/table1_design_versions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/trng_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trng_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stattests/CMakeFiles/trng_stattests.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/trng_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/trng_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trng_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_related_work"
+  "../bench/table2_related_work.pdb"
+  "CMakeFiles/table2_related_work.dir/table2_related_work.cpp.o"
+  "CMakeFiles/table2_related_work.dir/table2_related_work.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

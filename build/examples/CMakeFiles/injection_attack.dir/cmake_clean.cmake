@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/injection_attack.dir/injection_attack.cpp.o"
+  "CMakeFiles/injection_attack.dir/injection_attack.cpp.o.d"
+  "injection_attack"
+  "injection_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/injection_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

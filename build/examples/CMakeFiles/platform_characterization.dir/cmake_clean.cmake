@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_characterization.dir/platform_characterization.cpp.o"
+  "CMakeFiles/platform_characterization.dir/platform_characterization.cpp.o.d"
+  "platform_characterization"
+  "platform_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_key_generation.dir/session_key_generation.cpp.o"
+  "CMakeFiles/session_key_generation.dir/session_key_generation.cpp.o.d"
+  "session_key_generation"
+  "session_key_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_key_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitstream.cpp" "src/common/CMakeFiles/trng_common.dir/bitstream.cpp.o" "gcc" "src/common/CMakeFiles/trng_common.dir/bitstream.cpp.o.d"
+  "/root/repo/src/common/gaussian.cpp" "src/common/CMakeFiles/trng_common.dir/gaussian.cpp.o" "gcc" "src/common/CMakeFiles/trng_common.dir/gaussian.cpp.o.d"
+  "/root/repo/src/common/io.cpp" "src/common/CMakeFiles/trng_common.dir/io.cpp.o" "gcc" "src/common/CMakeFiles/trng_common.dir/io.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/trng_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/trng_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/special.cpp" "src/common/CMakeFiles/trng_common.dir/special.cpp.o" "gcc" "src/common/CMakeFiles/trng_common.dir/special.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/trng_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/trng_common.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

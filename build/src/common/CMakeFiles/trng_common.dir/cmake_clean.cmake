@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trng_common.dir/bitstream.cpp.o"
+  "CMakeFiles/trng_common.dir/bitstream.cpp.o.d"
+  "CMakeFiles/trng_common.dir/gaussian.cpp.o"
+  "CMakeFiles/trng_common.dir/gaussian.cpp.o.d"
+  "CMakeFiles/trng_common.dir/io.cpp.o"
+  "CMakeFiles/trng_common.dir/io.cpp.o.d"
+  "CMakeFiles/trng_common.dir/rng.cpp.o"
+  "CMakeFiles/trng_common.dir/rng.cpp.o.d"
+  "CMakeFiles/trng_common.dir/special.cpp.o"
+  "CMakeFiles/trng_common.dir/special.cpp.o.d"
+  "CMakeFiles/trng_common.dir/stats.cpp.o"
+  "CMakeFiles/trng_common.dir/stats.cpp.o.d"
+  "libtrng_common.a"
+  "libtrng_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trng_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

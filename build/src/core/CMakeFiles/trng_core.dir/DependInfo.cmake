@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines/str_trng.cpp" "src/core/CMakeFiles/trng_core.dir/baselines/str_trng.cpp.o" "gcc" "src/core/CMakeFiles/trng_core.dir/baselines/str_trng.cpp.o.d"
+  "/root/repo/src/core/baselines/sunar_trng.cpp" "src/core/CMakeFiles/trng_core.dir/baselines/sunar_trng.cpp.o" "gcc" "src/core/CMakeFiles/trng_core.dir/baselines/sunar_trng.cpp.o.d"
+  "/root/repo/src/core/baselines/tero_trng.cpp" "src/core/CMakeFiles/trng_core.dir/baselines/tero_trng.cpp.o" "gcc" "src/core/CMakeFiles/trng_core.dir/baselines/tero_trng.cpp.o.d"
+  "/root/repo/src/core/elementary.cpp" "src/core/CMakeFiles/trng_core.dir/elementary.cpp.o" "gcc" "src/core/CMakeFiles/trng_core.dir/elementary.cpp.o.d"
+  "/root/repo/src/core/extractor.cpp" "src/core/CMakeFiles/trng_core.dir/extractor.cpp.o" "gcc" "src/core/CMakeFiles/trng_core.dir/extractor.cpp.o.d"
+  "/root/repo/src/core/health.cpp" "src/core/CMakeFiles/trng_core.dir/health.cpp.o" "gcc" "src/core/CMakeFiles/trng_core.dir/health.cpp.o.d"
+  "/root/repo/src/core/postprocess.cpp" "src/core/CMakeFiles/trng_core.dir/postprocess.cpp.o" "gcc" "src/core/CMakeFiles/trng_core.dir/postprocess.cpp.o.d"
+  "/root/repo/src/core/trng.cpp" "src/core/CMakeFiles/trng_core.dir/trng.cpp.o" "gcc" "src/core/CMakeFiles/trng_core.dir/trng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trng_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/trng_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/trng_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trng_core.dir/baselines/str_trng.cpp.o"
+  "CMakeFiles/trng_core.dir/baselines/str_trng.cpp.o.d"
+  "CMakeFiles/trng_core.dir/baselines/sunar_trng.cpp.o"
+  "CMakeFiles/trng_core.dir/baselines/sunar_trng.cpp.o.d"
+  "CMakeFiles/trng_core.dir/baselines/tero_trng.cpp.o"
+  "CMakeFiles/trng_core.dir/baselines/tero_trng.cpp.o.d"
+  "CMakeFiles/trng_core.dir/elementary.cpp.o"
+  "CMakeFiles/trng_core.dir/elementary.cpp.o.d"
+  "CMakeFiles/trng_core.dir/extractor.cpp.o"
+  "CMakeFiles/trng_core.dir/extractor.cpp.o.d"
+  "CMakeFiles/trng_core.dir/health.cpp.o"
+  "CMakeFiles/trng_core.dir/health.cpp.o.d"
+  "CMakeFiles/trng_core.dir/postprocess.cpp.o"
+  "CMakeFiles/trng_core.dir/postprocess.cpp.o.d"
+  "CMakeFiles/trng_core.dir/trng.cpp.o"
+  "CMakeFiles/trng_core.dir/trng.cpp.o.d"
+  "libtrng_core.a"
+  "libtrng_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trng_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/clock_tree.cpp" "src/fpga/CMakeFiles/trng_fpga.dir/clock_tree.cpp.o" "gcc" "src/fpga/CMakeFiles/trng_fpga.dir/clock_tree.cpp.o.d"
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/trng_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/trng_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/fabric.cpp" "src/fpga/CMakeFiles/trng_fpga.dir/fabric.cpp.o" "gcc" "src/fpga/CMakeFiles/trng_fpga.dir/fabric.cpp.o.d"
+  "/root/repo/src/fpga/placement.cpp" "src/fpga/CMakeFiles/trng_fpga.dir/placement.cpp.o" "gcc" "src/fpga/CMakeFiles/trng_fpga.dir/placement.cpp.o.d"
+  "/root/repo/src/fpga/process_variation.cpp" "src/fpga/CMakeFiles/trng_fpga.dir/process_variation.cpp.o" "gcc" "src/fpga/CMakeFiles/trng_fpga.dir/process_variation.cpp.o.d"
+  "/root/repo/src/fpga/profiles.cpp" "src/fpga/CMakeFiles/trng_fpga.dir/profiles.cpp.o" "gcc" "src/fpga/CMakeFiles/trng_fpga.dir/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trng_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

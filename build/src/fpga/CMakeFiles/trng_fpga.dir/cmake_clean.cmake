@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trng_fpga.dir/clock_tree.cpp.o"
+  "CMakeFiles/trng_fpga.dir/clock_tree.cpp.o.d"
+  "CMakeFiles/trng_fpga.dir/device.cpp.o"
+  "CMakeFiles/trng_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/trng_fpga.dir/fabric.cpp.o"
+  "CMakeFiles/trng_fpga.dir/fabric.cpp.o.d"
+  "CMakeFiles/trng_fpga.dir/placement.cpp.o"
+  "CMakeFiles/trng_fpga.dir/placement.cpp.o.d"
+  "CMakeFiles/trng_fpga.dir/process_variation.cpp.o"
+  "CMakeFiles/trng_fpga.dir/process_variation.cpp.o.d"
+  "CMakeFiles/trng_fpga.dir/profiles.cpp.o"
+  "CMakeFiles/trng_fpga.dir/profiles.cpp.o.d"
+  "libtrng_fpga.a"
+  "libtrng_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trng_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

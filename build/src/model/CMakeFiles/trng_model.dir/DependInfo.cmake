@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/design_space.cpp" "src/model/CMakeFiles/trng_model.dir/design_space.cpp.o" "gcc" "src/model/CMakeFiles/trng_model.dir/design_space.cpp.o.d"
+  "/root/repo/src/model/nonlinearity.cpp" "src/model/CMakeFiles/trng_model.dir/nonlinearity.cpp.o" "gcc" "src/model/CMakeFiles/trng_model.dir/nonlinearity.cpp.o.d"
+  "/root/repo/src/model/platform_measurement.cpp" "src/model/CMakeFiles/trng_model.dir/platform_measurement.cpp.o" "gcc" "src/model/CMakeFiles/trng_model.dir/platform_measurement.cpp.o.d"
+  "/root/repo/src/model/stochastic_model.cpp" "src/model/CMakeFiles/trng_model.dir/stochastic_model.cpp.o" "gcc" "src/model/CMakeFiles/trng_model.dir/stochastic_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trng_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trng_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/trng_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/trng_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trng_model.dir/design_space.cpp.o"
+  "CMakeFiles/trng_model.dir/design_space.cpp.o.d"
+  "CMakeFiles/trng_model.dir/nonlinearity.cpp.o"
+  "CMakeFiles/trng_model.dir/nonlinearity.cpp.o.d"
+  "CMakeFiles/trng_model.dir/platform_measurement.cpp.o"
+  "CMakeFiles/trng_model.dir/platform_measurement.cpp.o.d"
+  "CMakeFiles/trng_model.dir/stochastic_model.cpp.o"
+  "CMakeFiles/trng_model.dir/stochastic_model.cpp.o.d"
+  "libtrng_model.a"
+  "libtrng_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trng_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

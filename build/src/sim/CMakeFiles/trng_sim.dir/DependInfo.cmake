@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/delay_line.cpp" "src/sim/CMakeFiles/trng_sim.dir/delay_line.cpp.o" "gcc" "src/sim/CMakeFiles/trng_sim.dir/delay_line.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/sim/CMakeFiles/trng_sim.dir/noise.cpp.o" "gcc" "src/sim/CMakeFiles/trng_sim.dir/noise.cpp.o.d"
+  "/root/repo/src/sim/ring_oscillator.cpp" "src/sim/CMakeFiles/trng_sim.dir/ring_oscillator.cpp.o" "gcc" "src/sim/CMakeFiles/trng_sim.dir/ring_oscillator.cpp.o.d"
+  "/root/repo/src/sim/sampler.cpp" "src/sim/CMakeFiles/trng_sim.dir/sampler.cpp.o" "gcc" "src/sim/CMakeFiles/trng_sim.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trng_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/trng_fpga.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trng_sim.dir/delay_line.cpp.o"
+  "CMakeFiles/trng_sim.dir/delay_line.cpp.o.d"
+  "CMakeFiles/trng_sim.dir/noise.cpp.o"
+  "CMakeFiles/trng_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/trng_sim.dir/ring_oscillator.cpp.o"
+  "CMakeFiles/trng_sim.dir/ring_oscillator.cpp.o.d"
+  "CMakeFiles/trng_sim.dir/sampler.cpp.o"
+  "CMakeFiles/trng_sim.dir/sampler.cpp.o.d"
+  "libtrng_sim.a"
+  "libtrng_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trng_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stattests/ais31.cpp" "src/stattests/CMakeFiles/trng_stattests.dir/ais31.cpp.o" "gcc" "src/stattests/CMakeFiles/trng_stattests.dir/ais31.cpp.o.d"
+  "/root/repo/src/stattests/battery.cpp" "src/stattests/CMakeFiles/trng_stattests.dir/battery.cpp.o" "gcc" "src/stattests/CMakeFiles/trng_stattests.dir/battery.cpp.o.d"
+  "/root/repo/src/stattests/estimators.cpp" "src/stattests/CMakeFiles/trng_stattests.dir/estimators.cpp.o" "gcc" "src/stattests/CMakeFiles/trng_stattests.dir/estimators.cpp.o.d"
+  "/root/repo/src/stattests/sp800_22_basic.cpp" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_basic.cpp.o" "gcc" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_basic.cpp.o.d"
+  "/root/repo/src/stattests/sp800_22_complexity.cpp" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_complexity.cpp.o" "gcc" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_complexity.cpp.o.d"
+  "/root/repo/src/stattests/sp800_22_dft.cpp" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_dft.cpp.o" "gcc" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_dft.cpp.o.d"
+  "/root/repo/src/stattests/sp800_22_excursions.cpp" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_excursions.cpp.o" "gcc" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_excursions.cpp.o.d"
+  "/root/repo/src/stattests/sp800_22_rank.cpp" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_rank.cpp.o" "gcc" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_rank.cpp.o.d"
+  "/root/repo/src/stattests/sp800_22_serial.cpp" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_serial.cpp.o" "gcc" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_serial.cpp.o.d"
+  "/root/repo/src/stattests/sp800_22_templates.cpp" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_templates.cpp.o" "gcc" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_templates.cpp.o.d"
+  "/root/repo/src/stattests/sp800_22_universal.cpp" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_universal.cpp.o" "gcc" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_22_universal.cpp.o.d"
+  "/root/repo/src/stattests/sp800_90b.cpp" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_90b.cpp.o" "gcc" "src/stattests/CMakeFiles/trng_stattests.dir/sp800_90b.cpp.o.d"
+  "/root/repo/src/stattests/test_result.cpp" "src/stattests/CMakeFiles/trng_stattests.dir/test_result.cpp.o" "gcc" "src/stattests/CMakeFiles/trng_stattests.dir/test_result.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trng_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

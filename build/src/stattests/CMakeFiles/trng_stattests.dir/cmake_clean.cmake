@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trng_stattests.dir/ais31.cpp.o"
+  "CMakeFiles/trng_stattests.dir/ais31.cpp.o.d"
+  "CMakeFiles/trng_stattests.dir/battery.cpp.o"
+  "CMakeFiles/trng_stattests.dir/battery.cpp.o.d"
+  "CMakeFiles/trng_stattests.dir/estimators.cpp.o"
+  "CMakeFiles/trng_stattests.dir/estimators.cpp.o.d"
+  "CMakeFiles/trng_stattests.dir/sp800_22_basic.cpp.o"
+  "CMakeFiles/trng_stattests.dir/sp800_22_basic.cpp.o.d"
+  "CMakeFiles/trng_stattests.dir/sp800_22_complexity.cpp.o"
+  "CMakeFiles/trng_stattests.dir/sp800_22_complexity.cpp.o.d"
+  "CMakeFiles/trng_stattests.dir/sp800_22_dft.cpp.o"
+  "CMakeFiles/trng_stattests.dir/sp800_22_dft.cpp.o.d"
+  "CMakeFiles/trng_stattests.dir/sp800_22_excursions.cpp.o"
+  "CMakeFiles/trng_stattests.dir/sp800_22_excursions.cpp.o.d"
+  "CMakeFiles/trng_stattests.dir/sp800_22_rank.cpp.o"
+  "CMakeFiles/trng_stattests.dir/sp800_22_rank.cpp.o.d"
+  "CMakeFiles/trng_stattests.dir/sp800_22_serial.cpp.o"
+  "CMakeFiles/trng_stattests.dir/sp800_22_serial.cpp.o.d"
+  "CMakeFiles/trng_stattests.dir/sp800_22_templates.cpp.o"
+  "CMakeFiles/trng_stattests.dir/sp800_22_templates.cpp.o.d"
+  "CMakeFiles/trng_stattests.dir/sp800_22_universal.cpp.o"
+  "CMakeFiles/trng_stattests.dir/sp800_22_universal.cpp.o.d"
+  "CMakeFiles/trng_stattests.dir/sp800_90b.cpp.o"
+  "CMakeFiles/trng_stattests.dir/sp800_90b.cpp.o.d"
+  "CMakeFiles/trng_stattests.dir/test_result.cpp.o"
+  "CMakeFiles/trng_stattests.dir/test_result.cpp.o.d"
+  "libtrng_stattests.a"
+  "libtrng_stattests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trng_stattests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ais31.dir/test_ais31.cpp.o"
+  "CMakeFiles/test_ais31.dir/test_ais31.cpp.o.d"
+  "test_ais31"
+  "test_ais31.pdb"
+  "test_ais31[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ais31.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delay_line.dir/test_delay_line.cpp.o"
+  "CMakeFiles/test_delay_line.dir/test_delay_line.cpp.o.d"
+  "test_delay_line"
+  "test_delay_line.pdb"
+  "test_delay_line[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delay_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

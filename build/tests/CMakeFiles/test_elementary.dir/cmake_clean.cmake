@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elementary.dir/test_elementary.cpp.o"
+  "CMakeFiles/test_elementary.dir/test_elementary.cpp.o.d"
+  "test_elementary"
+  "test_elementary.pdb"
+  "test_elementary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elementary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extractor.dir/test_extractor.cpp.o"
+  "CMakeFiles/test_extractor.dir/test_extractor.cpp.o.d"
+  "test_extractor"
+  "test_extractor.pdb"
+  "test_extractor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

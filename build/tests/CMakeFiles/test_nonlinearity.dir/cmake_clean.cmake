@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonlinearity.dir/test_nonlinearity.cpp.o"
+  "CMakeFiles/test_nonlinearity.dir/test_nonlinearity.cpp.o.d"
+  "test_nonlinearity"
+  "test_nonlinearity.pdb"
+  "test_nonlinearity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonlinearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

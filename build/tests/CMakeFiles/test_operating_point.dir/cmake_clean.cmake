@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operating_point.dir/test_operating_point.cpp.o"
+  "CMakeFiles/test_operating_point.dir/test_operating_point.cpp.o.d"
+  "test_operating_point"
+  "test_operating_point.pdb"
+  "test_operating_point[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operating_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

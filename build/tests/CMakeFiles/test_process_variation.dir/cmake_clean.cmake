@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_process_variation.dir/test_process_variation.cpp.o"
+  "CMakeFiles/test_process_variation.dir/test_process_variation.cpp.o.d"
+  "test_process_variation"
+  "test_process_variation.pdb"
+  "test_process_variation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_process_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

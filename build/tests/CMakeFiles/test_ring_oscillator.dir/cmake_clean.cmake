@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_oscillator.dir/test_ring_oscillator.cpp.o"
+  "CMakeFiles/test_ring_oscillator.dir/test_ring_oscillator.cpp.o.d"
+  "test_ring_oscillator"
+  "test_ring_oscillator.pdb"
+  "test_ring_oscillator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sp800_22.dir/test_sp800_22.cpp.o"
+  "CMakeFiles/test_sp800_22.dir/test_sp800_22.cpp.o.d"
+  "test_sp800_22"
+  "test_sp800_22.pdb"
+  "test_sp800_22[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sp800_22.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sp800_90b.dir/test_sp800_90b.cpp.o"
+  "CMakeFiles/test_sp800_90b.dir/test_sp800_90b.cpp.o.d"
+  "test_sp800_90b"
+  "test_sp800_90b.pdb"
+  "test_sp800_90b[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sp800_90b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

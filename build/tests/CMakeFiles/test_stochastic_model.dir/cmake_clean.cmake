@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stochastic_model.dir/test_stochastic_model.cpp.o"
+  "CMakeFiles/test_stochastic_model.dir/test_stochastic_model.cpp.o.d"
+  "test_stochastic_model"
+  "test_stochastic_model.pdb"
+  "test_stochastic_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stochastic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

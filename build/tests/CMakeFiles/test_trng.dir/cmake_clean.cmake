@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trng.dir/test_trng.cpp.o"
+  "CMakeFiles/test_trng.dir/test_trng.cpp.o.d"
+  "test_trng"
+  "test_trng.pdb"
+  "test_trng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
