@@ -1,0 +1,33 @@
+# clang-tidy integration.
+#
+# TRNG_CLANG_TIDY=ON runs clang-tidy (configuration in the repo-root
+# .clang-tidy) on every translation unit as it compiles, with findings
+# promoted to errors. Use `cmake --preset tidy` for the canonical setup.
+#
+# Independently of this option, the `trng_tidy` ctest (see
+# cmake/StaticAnalysis.cmake) runs clang-tidy over src/ from
+# compile_commands.json, and skips — rather than fails — on hosts where no
+# clang-tidy binary exists.
+
+option(TRNG_CLANG_TIDY
+       "Run clang-tidy on each TU during compilation (findings are errors)"
+       OFF)
+
+# Both the trng_tidy ctest and editor tooling consume the compilation
+# database, so export it unconditionally.
+set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
+
+find_program(TRNG_CLANG_TIDY_EXE
+  NAMES clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16
+        clang-tidy-15
+  DOC "clang-tidy executable used for TRNG_CLANG_TIDY and the tidy ctest")
+
+if(TRNG_CLANG_TIDY)
+  if(NOT TRNG_CLANG_TIDY_EXE)
+    message(FATAL_ERROR
+      "TRNG_CLANG_TIDY=ON but no clang-tidy executable was found. "
+      "Install clang-tidy or configure without the option.")
+  endif()
+  set(CMAKE_CXX_CLANG_TIDY "${TRNG_CLANG_TIDY_EXE};--warnings-as-errors=*")
+  message(STATUS "clang-tidy enabled per-TU: ${TRNG_CLANG_TIDY_EXE}")
+endif()

@@ -1,0 +1,49 @@
+# Sanitizer build modes.
+#
+# TRNG_SANITIZE is a semicolon list of sanitizers applied to every target in
+# src/, tests/, bench/ and examples/ through the trng_sanitizers interface
+# target, e.g.
+#
+#   cmake -B build-asan -S . -DTRNG_SANITIZE=address;undefined
+#   cmake -B build-tsan -S . -DTRNG_SANITIZE=thread
+#
+# or via the corresponding presets (`cmake --preset asan`, `ubsan`, `tsan`).
+# Recovery is disabled (-fno-sanitize-recover=all) so any report fails the
+# process — a sanitized ctest run is a hard gate, not a log to skim.
+
+set(TRNG_SANITIZE "" CACHE STRING
+    "Semicolon list of sanitizers to enable: address, undefined, thread, leak")
+
+set(_trng_known_sanitizers address undefined thread leak)
+
+add_library(trng_sanitizers INTERFACE)
+add_library(trng::sanitizers ALIAS trng_sanitizers)
+
+if(TRNG_SANITIZE)
+  foreach(_san IN LISTS TRNG_SANITIZE)
+    if(NOT _san IN_LIST _trng_known_sanitizers)
+      message(FATAL_ERROR
+        "TRNG_SANITIZE: unknown sanitizer '${_san}' "
+        "(expected one of: ${_trng_known_sanitizers})")
+    endif()
+  endforeach()
+  if("thread" IN_LIST TRNG_SANITIZE AND
+     ("address" IN_LIST TRNG_SANITIZE OR "leak" IN_LIST TRNG_SANITIZE))
+    message(FATAL_ERROR
+      "TRNG_SANITIZE: 'thread' cannot be combined with 'address'/'leak'")
+  endif()
+
+  set(_trng_san_flags "")
+  foreach(_san IN LISTS TRNG_SANITIZE)
+    list(APPEND _trng_san_flags "-fsanitize=${_san}")
+  endforeach()
+
+  target_compile_options(trng_sanitizers INTERFACE
+    ${_trng_san_flags}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all
+    -g)
+  target_link_options(trng_sanitizers INTERFACE ${_trng_san_flags})
+
+  message(STATUS "TRNG sanitizers enabled: ${TRNG_SANITIZE}")
+endif()

@@ -1,0 +1,35 @@
+# Static-analysis ctest targets: the TRNG invariant linter and the
+# clang-tidy sweep. Registered at the top level so they run in every build
+# tree (including sanitizer trees), independent of TRNG_BUILD_TESTS.
+#
+#   ctest -L lint   # trng_lint whole-repo run + linter self-test
+#   ctest -L tidy   # clang-tidy over src/ (skips when clang-tidy is absent)
+
+find_package(Python3 COMPONENTS Interpreter QUIET)
+
+if(NOT Python3_Interpreter_FOUND)
+  message(WARNING
+    "python3 not found: the trng_lint and trng_tidy ctest targets are not "
+    "registered in this build tree.")
+  return()
+endif()
+
+add_test(NAME trng_lint.repo
+  COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/trng_lint.py
+          --root ${CMAKE_SOURCE_DIR})
+set_tests_properties(trng_lint.repo PROPERTIES LABELS "lint")
+
+add_test(NAME trng_lint.selftest
+  COMMAND ${Python3_EXECUTABLE}
+          ${CMAKE_SOURCE_DIR}/tools/trng_lint_selftest.py)
+set_tests_properties(trng_lint.selftest PROPERTIES LABELS "lint")
+
+# Exit code 77 is the conventional "skip" sentinel: the runner reports the
+# test as skipped (not failed) on hosts without clang-tidy.
+add_test(NAME trng_tidy.src
+  COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/run_clang_tidy.py
+          -p ${CMAKE_BINARY_DIR} --source-root ${CMAKE_SOURCE_DIR})
+set_tests_properties(trng_tidy.src PROPERTIES
+  LABELS "tidy"
+  SKIP_RETURN_CODE 77
+  TIMEOUT 1800)

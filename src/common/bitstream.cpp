@@ -28,6 +28,9 @@ BitStream BitStream::from_words(const std::vector<std::uint64_t>& words,
         "BitStream::from_words: bits_per_word must be in [1, 64]");
   }
   BitStream bs;
+  if (words.size() > kMaxBits / bits_per_word) {
+    throw std::length_error("BitStream::from_words: size overflow");
+  }
   bs.reserve(words.size() * bits_per_word);
   for (std::uint64_t w : words) bs.append_bits(w, bits_per_word);
   return bs;
@@ -67,7 +70,12 @@ void BitStream::clear() {
   size_ = 0;
 }
 
-void BitStream::reserve(std::size_t bits) { words_.reserve((bits + 63) / 64); }
+void BitStream::reserve(std::size_t bits) {
+  if (bits > kMaxBits) {
+    throw std::length_error("BitStream::reserve: size overflow");
+  }
+  words_.reserve((bits + 63) / 64);
+}
 
 std::size_t BitStream::count_ones() const {
   std::size_t ones = 0;
@@ -76,7 +84,10 @@ std::size_t BitStream::count_ones() const {
 }
 
 BitStream BitStream::slice(std::size_t begin, std::size_t length) const {
-  if (begin + length > size_) {
+  // Overflow-safe form of `begin + length > size_`: the naive sum wraps for
+  // begin/length near SIZE_MAX, silently passing the check and handing
+  // out-of-bounds indices to operator[].
+  if (begin > size_ || length > size_ - begin) {
     throw std::out_of_range("BitStream::slice: range out of bounds");
   }
   BitStream out;

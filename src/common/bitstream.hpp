@@ -69,6 +69,11 @@ class BitStream {
   const std::vector<std::uint64_t>& words() const { return words_; }
 
  private:
+  /// Capacity guard used by reserve()/from_words(): large enough for any
+  /// real sequence, small enough that `bits + 63` and
+  /// `words * bits_per_word` can never wrap std::size_t.
+  static constexpr std::size_t kMaxBits = std::size_t{1} << 48;
+
   std::vector<std::uint64_t> words_;
   std::size_t size_ = 0;
 };

@@ -19,7 +19,7 @@
 
 namespace trng::core {
 
-struct ExtractionResult {
+struct [[nodiscard]] ExtractionResult {
   bool bit = false;        ///< output bit (valid only when edge_found)
   bool edge_found = false; ///< false = missed edge (m too small, Sec. 5.2)
   int edge_position = -1;  ///< first-edge tap index before down-sampling

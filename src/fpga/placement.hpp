@@ -58,7 +58,7 @@ struct TrngFloorplan {
 };
 
 /// Occupied-resource accounting for Table 2.
-struct ResourceReport {
+struct [[nodiscard]] ResourceReport {
   int slices = 0;
   int luts = 0;
   int flip_flops = 0;

@@ -18,7 +18,7 @@
 namespace trng::model {
 
 /// Bin-width statistics of one elaborated line at down-sampling k.
-struct DnlReport {
+struct [[nodiscard]] DnlReport {
   double mean_bin_ps = 0.0;
   double min_bin_ps = 0.0;
   double max_bin_ps = 0.0;

@@ -24,7 +24,7 @@
 namespace trng::sim {
 
 /// One full conversion: the snapshots of all n delay lines.
-struct CaptureResult {
+struct [[nodiscard]] CaptureResult {
   std::vector<LineSnapshot> lines;
   Picoseconds sample_time_ps = 0.0;
 };

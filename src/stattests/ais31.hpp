@@ -19,7 +19,7 @@
 
 namespace trng::stat::ais31 {
 
-struct Ais31Result {
+struct [[nodiscard]] Ais31Result {
   std::string name;
   bool applicable = true;
   bool passed = false;

@@ -12,7 +12,7 @@
 
 namespace trng::stat {
 
-struct BatteryReport {
+struct [[nodiscard]] BatteryReport {
   std::vector<TestResult> results;
 
   bool all_passed(double alpha = 0.01) const;

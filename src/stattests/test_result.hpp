@@ -10,7 +10,7 @@ namespace trng::stat {
 /// Outcome of one statistical test on one sequence. Tests that internally
 /// evaluate several sub-statistics (serial, cusum, templates, excursions)
 /// report one p-value each in `p_values`.
-struct TestResult {
+struct [[nodiscard]] TestResult {
   std::string name;
   std::vector<double> p_values;
 

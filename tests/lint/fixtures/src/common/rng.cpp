@@ -1,0 +1,8 @@
+// Fixture: src/common/rng.cpp is the ONE place allowed to touch the system
+// entropy source; none of these may fire TL001.
+#include <random>
+
+unsigned seed_from_system() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,16 @@
+// Fixture: every TL001 pattern must fire here (file is outside
+// src/common/rng.cpp).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <chrono>
+
+int nondeterministic_everything() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // srand + time-seeding
+  int a = rand();                                    // C rand()
+  int b = static_cast<int>(std::rand());             // std::rand
+  std::random_device rd;                             // random_device
+  auto t = std::chrono::steady_clock::now();         // wall-clock read
+  (void)t;
+  return a + b + static_cast<int>(rd());
+}

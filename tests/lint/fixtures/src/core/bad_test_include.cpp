@@ -1,0 +1,7 @@
+// Fixture: TL005 must fire on includes reaching into the test tree, but
+// not on legitimate src/ headers whose names merely start with "test".
+#include "tests/helpers.hpp"        // TL005
+#include "../tests/fixture.hpp"     // TL005
+#include "stattests/test_result.hpp"  // fine: src/ header, not tests/
+
+int use() { return 0; }

@@ -1,0 +1,12 @@
+// Fixture: a representative clean file; zero findings expected.
+#include <vector>
+
+struct [[nodiscard]] CleanResult {
+  double value = 0.0;
+};
+
+CleanResult sum(const std::vector<double>& xs) {
+  CleanResult r;
+  for (double x : xs) r.value += x;
+  return r;
+}

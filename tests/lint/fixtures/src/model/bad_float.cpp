@@ -1,0 +1,5 @@
+// Fixture: TL002 must fire on the float declaration (and only on it).
+double half(double x) {
+  float y = static_cast<float>(x);  // TL002: float in model numerics
+  return y / 2.0;
+}

@@ -1,0 +1,3 @@
+// Fixture: TL003 must fire for a literal on either side of ==/!=.
+bool literal_rhs(double p) { return p == 0.5; }
+bool literal_lhs(double p) { return 1.0 != p; }

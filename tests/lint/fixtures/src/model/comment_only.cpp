@@ -1,0 +1,8 @@
+// Fixture: rule patterns inside comments and string literals must NOT
+// fire. This file mentions float, rand(), random_device and x == 0.0 in
+// comments, and carries the same tokens in a string below.
+/* block comment: if (x == 1.0) { float y = rand(); } */
+const char* kDoc =
+    "float tolerance; compare p == 0.5 via rand() or random_device";
+
+double clean(double x) { return x; }

@@ -1,0 +1,6 @@
+// Fixture: an allow() that matches no finding must surface as TL000 so
+// stale suppressions cannot accumulate.
+double identity(double x) {
+  // trng-lint: allow(TL003) -- nothing here actually compares
+  return x;
+}

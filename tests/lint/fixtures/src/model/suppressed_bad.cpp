@@ -1,0 +1,6 @@
+// Fixture: an allow() without a "-- justification" must surface as TL000,
+// not silently suppress the finding.
+bool unjustified(double bias) {
+  // trng-lint: allow(TL003)
+  return bias == 0.0;
+}

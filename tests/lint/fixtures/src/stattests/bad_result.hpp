@@ -1,0 +1,13 @@
+// Fixture: TL004 must fire on the missing [[nodiscard]] and accept the
+// annotated type.
+#pragma once
+
+struct BadResult {  // TL004: result type without [[nodiscard]]
+  double p_value = 0.0;
+};
+
+struct [[nodiscard]] GoodReport {  // annotated: must NOT fire
+  double p_value = 0.0;
+};
+
+enum class ResultKind { kGood, kBad };  // enum: must NOT fire

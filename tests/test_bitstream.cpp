@@ -1,6 +1,8 @@
 // Unit tests for the packed bit container.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/bitstream.hpp"
 #include "common/rng.hpp"
 
@@ -78,6 +80,22 @@ TEST(BitStream, SliceBoundsChecked) {
   EXPECT_EQ(bs.slice(2, 3).to_string(), "001");
   EXPECT_EQ(bs.slice(0, 6).to_string(), "110010");
   EXPECT_THROW(bs.slice(4, 3), std::out_of_range);
+}
+
+TEST(BitStream, SliceRejectsOverflowingRange) {
+  // begin + length wraps std::size_t; the naive `begin + length > size_`
+  // check passed and handed out-of-bounds indices to operator[].
+  BitStream bs = BitStream::from_string("110010");
+  const auto huge = std::numeric_limits<std::size_t>::max();
+  EXPECT_THROW(bs.slice(3, huge), std::out_of_range);
+  EXPECT_THROW(bs.slice(huge, 2), std::out_of_range);
+  EXPECT_THROW(bs.slice(huge, huge), std::out_of_range);
+}
+
+TEST(BitStream, ReserveRejectsOverflowingSize) {
+  BitStream bs;
+  EXPECT_THROW(bs.reserve(std::numeric_limits<std::size_t>::max()),
+               std::length_error);
 }
 
 TEST(BitStream, XorFold) {

@@ -21,8 +21,8 @@ TEST(EntropyExtractor, RejectsBadConstruction) {
 
 TEST(EntropyExtractor, RejectsBadSnapshots) {
   EntropyExtractor ex(8);
-  EXPECT_THROW(ex.extract({}), std::invalid_argument);
-  EXPECT_THROW(ex.extract({snap("1010")}), std::invalid_argument);
+  EXPECT_THROW((void)ex.extract({}), std::invalid_argument);
+  EXPECT_THROW((void)ex.extract({snap("1010")}), std::invalid_argument);
 }
 
 TEST(EntropyExtractor, XorFoldCombinesLines) {

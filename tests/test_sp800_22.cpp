@@ -316,7 +316,9 @@ TEST(RandomExcursionsVariant, RejectsSawtooth) {
   common::BitStream saw;
   for (int i = 0; i < 100000; ++i) saw.push_back((i % 4) < 2);
   const auto r = random_excursions_variant_test(saw);
-  if (r.applicable) EXPECT_FALSE(r.passed());
+  if (r.applicable) {
+    EXPECT_FALSE(r.passed());
+  }
 }
 
 // ---- p-value sanity across the suite -----------------------------------------

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Self-test for tools/trng_lint.py.
+
+Runs the linter over the known-bad/known-good fixture tree in
+tests/lint/fixtures/ (which mirrors the repo's src/ layout so every
+path-scoped rule applies exactly as in production) and asserts that each
+rule fires where expected and nowhere else.
+
+Exit codes: 0 all assertions hold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+LINT = REPO / "tools" / "trng_lint.py"
+FIXTURES = REPO / "tests" / "lint" / "fixtures"
+
+# Every (file, rule) pair the fixture run must produce — no more, no less.
+# Multiset: a pair listed twice must be reported exactly twice.
+EXPECTED = sorted([
+    ("src/core/bad_rand.cpp", "TL001"),      # srand(
+    ("src/core/bad_rand.cpp", "TL001"),      # time(nullptr)
+    ("src/core/bad_rand.cpp", "TL001"),      # rand()
+    ("src/core/bad_rand.cpp", "TL001"),      # std::rand -> rand(
+    ("src/core/bad_rand.cpp", "TL001"),      # std::rand token
+    ("src/core/bad_rand.cpp", "TL001"),      # random_device
+    ("src/core/bad_rand.cpp", "TL001"),      # steady_clock::now
+    ("src/model/bad_float.cpp", "TL002"),   # declaration
+    ("src/model/bad_float.cpp", "TL002"),   # static_cast<float>
+
+    ("src/model/bad_fp_eq.cpp", "TL003"),    # literal rhs
+    ("src/model/bad_fp_eq.cpp", "TL003"),    # literal lhs
+    ("src/stattests/bad_result.hpp", "TL004"),
+    ("src/core/bad_test_include.cpp", "TL005"),
+    ("src/core/bad_test_include.cpp", "TL005"),
+    ("src/model/suppressed_bad.cpp", "TL000"),
+    ("src/model/dangling_allow.cpp", "TL000"),
+])
+
+# Files that must NOT appear in any finding (negative assertions: the rng.cpp
+# exemption, comment/string stripping, justified suppressions, clean code).
+MUST_BE_CLEAN = [
+    "src/common/rng.cpp",
+    "src/model/comment_only.cpp",
+    "src/model/suppressed_ok.cpp",
+    "src/core/clean.cpp",
+]
+
+
+def main() -> int:
+    proc = subprocess.run(
+        [sys.executable, str(LINT), "--root", str(FIXTURES), "--quiet"],
+        capture_output=True, text=True)
+
+    findings = []
+    for line in proc.stdout.splitlines():
+        if not line.strip():
+            continue
+        location, _, rest = line.partition(": ")
+        path = location.rsplit(":", 1)[0]
+        rule = rest.split()[0]
+        findings.append((path, rule))
+    findings.sort()
+
+    failures = []
+
+    if proc.returncode != 1:
+        failures.append(
+            f"expected exit code 1 (findings present), got {proc.returncode}")
+
+    for path in MUST_BE_CLEAN:
+        hits = [f for f in findings if f[0] == path]
+        if hits:
+            failures.append(f"false positive(s) in {path}: {hits}")
+
+    if findings != EXPECTED:
+        missing = list(EXPECTED)
+        extra = []
+        for f in findings:
+            if f in missing:
+                missing.remove(f)
+            else:
+                extra.append(f)
+        if missing:
+            failures.append(f"expected findings never fired: {missing}")
+        if extra:
+            failures.append(f"unexpected findings: {extra}")
+
+    # The rule table must stay documented: --list-rules lists every TL rule.
+    rules = subprocess.run(
+        [sys.executable, str(LINT), "--list-rules"],
+        capture_output=True, text=True)
+    for rule_id in ("TL001", "TL002", "TL003", "TL004", "TL005"):
+        if rule_id not in rules.stdout:
+            failures.append(f"--list-rules does not document {rule_id}")
+
+    if failures:
+        print("trng_lint_selftest: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print("--- linter stdout ---", file=sys.stderr)
+        print(proc.stdout, file=sys.stderr)
+        return 1
+
+    print(f"trng_lint_selftest: OK "
+          f"({len(EXPECTED)} expected findings, "
+          f"{len(MUST_BE_CLEAN)} clean files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
