@@ -4,21 +4,16 @@
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
+
+#include "common/env.hpp"
 
 namespace trng::bench {
 
 /// Reads a size knob from the environment (e.g. TRNG_BENCH_BITS); returns
-/// `fallback` when unset or unparsable.
-inline std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(v, &end, 10);
-  if (end == v || parsed == 0) return fallback;
-  return static_cast<std::size_t>(parsed);
-}
+/// `fallback` when unset or unparsable. Delegates to the shared helper so
+/// examples and smoke tests use the same parsing rules.
+using trng::common::env_size;
 
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

@@ -2,11 +2,23 @@
 // simulation inner loops, the extractor, post-processing and the
 // statistical tests. These guard the practicality of the harness (Table 1
 // regeneration runs millions of captures).
+//
+// Before the google-benchmark suite runs, main() measures every canonical
+// bit source through both BitSource paths — per-bit next_bit() calls vs one
+// bulk generate_into() — and writes the results to BENCH_throughput.json
+// (machine-readable; see emit_throughput_json below for knobs).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "core/elementary.hpp"
 #include "core/extractor.hpp"
+#include "core/source_registry.hpp"
 #include "core/trng.hpp"
 #include "model/stochastic_model.hpp"
 #include "stattests/sp800_22.hpp"
@@ -36,6 +48,22 @@ void BM_TrngRawBit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TrngRawBit)->Arg(1)->Arg(5)->Arg(20);
+
+void BM_TrngBatchedBits(benchmark::State& state) {
+  fpga::Fabric fabric(fpga::DeviceGeometry{}, 42);
+  core::DesignParams p;
+  p.accumulation_cycles = static_cast<Cycles>(state.range(0));
+  core::CarryChainTrng trng(fabric, p, 7);
+  constexpr std::size_t kBits = 256;
+  std::uint64_t words[(kBits + 63) / 64];
+  for (auto _ : state) {
+    trng.generate_into(words, kBits);
+    benchmark::DoNotOptimize(words[0]);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBits));
+}
+BENCHMARK(BM_TrngBatchedBits)->Arg(1)->Arg(5)->Arg(20);
 
 void BM_ElementaryAnalyticBit(benchmark::State& state) {
   core::ElementaryTrng trng(480.0, 2.0, 800, 7);
@@ -123,6 +151,135 @@ void BM_XorFold(benchmark::State& state) {
 }
 BENCHMARK(BM_XorFold);
 
+// --- BitSource throughput comparison -> BENCH_throughput.json ------------
+//
+// For every canonical source (registry line-up plus the raw carry-chain
+// TRNG itself) this times the two BitSource paths over the same bit budget:
+//
+//   * "scalar": one next_bit() call per bit (the bit-at-a-time interface),
+//   * "batched": a single generate_into() covering the whole budget.
+//
+// Each path runs `repeats` passes over the bit budget on a persistent
+// generator; every pass is timed in small chunks and the minimum per-bit
+// chunk time is reported. The chunked minimum discards scheduler
+// preemption (which otherwise contaminates whole multi-millisecond
+// passes on a loaded machine) identically for both paths. Bit budget and
+// repeat count come from TRNG_BENCH_THROUGHPUT_BITS / _REPEATS, and the
+// output path from TRNG_BENCH_THROUGHPUT_JSON.
+
+struct ThroughputRow {
+  std::string id;
+  double scalar_ns_per_bit = 0.0;
+  double batched_ns_per_bit = 0.0;
+};
+
+template <typename F>
+double min_chunk_ns_per_bit(F&& run_chunk, std::size_t nbits, int repeats) {
+  const std::size_t chunk = std::min<std::size_t>(nbits, 256);
+  double best = 0.0;
+  bool first = true;
+  for (int r = 0; r < repeats; ++r) {
+    for (std::size_t done = 0; done < nbits; done += chunk) {
+      const std::size_t n = std::min(chunk, nbits - done);
+      const auto t0 = std::chrono::steady_clock::now();
+      run_chunk(n);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ns =
+          std::chrono::duration<double, std::nano>(t1 - t0).count() /
+          static_cast<double>(n);
+      if (first || ns < best) best = ns;
+      first = false;
+    }
+  }
+  return best;
+}
+
+ThroughputRow measure_source(const std::string& id, core::BitSource& scalar,
+                             core::BitSource& batched, std::size_t nbits,
+                             int repeats) {
+  std::vector<std::uint64_t> words((nbits + 63) / 64);
+  // One untimed pass per path warms caches and generator state.
+  scalar.next_bit();
+  batched.generate_into(words.data(), std::min<std::size_t>(nbits, 64));
+
+  ThroughputRow row;
+  row.id = id;
+  row.scalar_ns_per_bit = min_chunk_ns_per_bit(
+      [&](std::size_t n) {
+        bool sink = false;
+        for (std::size_t i = 0; i < n; ++i) sink ^= scalar.next_bit();
+        benchmark::DoNotOptimize(sink);
+      },
+      nbits, repeats);
+  row.batched_ns_per_bit = min_chunk_ns_per_bit(
+      [&](std::size_t n) {
+        batched.generate_into(words.data(), n);
+        benchmark::DoNotOptimize(words[0]);
+      },
+      nbits, repeats);
+  return row;
+}
+
+void emit_throughput_json() {
+  const std::size_t nbits =
+      common::env_size("TRNG_BENCH_THROUGHPUT_BITS", 4096);
+  const int repeats = static_cast<int>(
+      common::env_size("TRNG_BENCH_THROUGHPUT_REPEATS", 5));
+  const char* path_env = std::getenv("TRNG_BENCH_THROUGHPUT_JSON");
+  const std::string path = path_env ? path_env : "BENCH_throughput.json";
+
+  fpga::Fabric fabric(fpga::DeviceGeometry{}, 42);
+  std::vector<ThroughputRow> rows;
+
+  {
+    // The headline comparison: the paper's TRNG at its default design point,
+    // raw bits, scalar next_raw_bit() vs the fused packed pipeline.
+    core::CarryChainTrng scalar(fabric, core::DesignParams{}, 7);
+    core::CarryChainTrng batched(fabric, core::DesignParams{}, 7);
+    rows.push_back(
+        measure_source("carry-chain-raw", scalar, batched, nbits, repeats));
+  }
+  for (const auto& factory : core::canonical_sources(fabric)) {
+    auto scalar = factory.make(7);
+    auto batched = factory.make(7);
+    rows.push_back(
+        measure_source(factory.id, *scalar, *batched, nbits, repeats));
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_microbench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"bit_source_throughput\",\n");
+  std::fprintf(f, "  \"bits_per_measurement\": %zu,\n", nbits);
+  std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+  std::fprintf(f, "  \"aggregation\": \"min\",\n");
+  std::fprintf(f, "  \"sources\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ThroughputRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"id\": \"%s\", \"scalar_ns_per_bit\": %.1f, "
+                 "\"batched_ns_per_bit\": %.1f, \"scalar_bits_per_s\": %.0f, "
+                 "\"batched_bits_per_s\": %.0f, \"batched_speedup\": %.2f}%s\n",
+                 r.id.c_str(), r.scalar_ns_per_bit, r.batched_ns_per_bit,
+                 1e9 / r.scalar_ns_per_bit, 1e9 / r.batched_ns_per_bit,
+                 r.scalar_ns_per_bit / r.batched_ns_per_bit,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "perf_microbench: wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  emit_throughput_json();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,35 +1,34 @@
 // Reproduces Table 2: "Comparison with related work."
 //
-// For each related design the bench reports the published platform /
-// resources / throughput (what Table 2 compares) and additionally runs the
-// behavioural simulation of each baseline through a fast statistical
-// screen, demonstrating that every simulated generator actually produces
-// usable randomness at its reported rate.
+// Every row is produced the same way: the canonical source registry hands
+// out a BitSource per design (post-processing decorators already applied),
+// the row's platform / resources / throughput come from its SourceInfo,
+// and the behavioural simulation is run through a fast statistical screen
+// — demonstrating that every simulated generator actually produces usable
+// randomness at its reported rate. No concrete generator types appear
+// here; adding a design to the registry adds its row.
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/baselines/str_trng.hpp"
-#include "core/baselines/sunar_trng.hpp"
-#include "core/baselines/tero_trng.hpp"
-#include "core/trng.hpp"
+#include "core/source_registry.hpp"
+#include "fpga/fabric.hpp"
 #include "stattests/battery.hpp"
 
 namespace {
 
 using namespace trng;
 
-void print_row(const char* work, const char* platform, const char* resources,
-               double throughput_mbps, const char* screen) {
-  std::printf("%-42s %-13s %-12s %10.2f   %s\n", work, platform, resources,
-              throughput_mbps, screen);
+void print_row(const core::SourceInfo& si, const char* screen) {
+  std::printf("%-42s %-13s %-12s %10.2f   %s\n", si.name.c_str(),
+              si.platform.c_str(), si.resources.c_str(),
+              si.throughput_bps / 1.0e6, screen);
 }
 
-const char* screen_verdict(core::baselines::BaselineTrng& trng,
-                           std::size_t bits) {
+const char* screen_verdict(core::BitSource& source, std::size_t bits) {
   stat::TestBattery::Options opt;
   opt.include_slow = false;
   stat::TestBattery battery(opt);
-  const auto report = battery.run(trng.generate(bits));
+  const auto report = battery.run(source, bits);
   return report.all_passed() ? "passes screen" : "fails screen";
 }
 
@@ -43,66 +42,11 @@ int main() {
               "resources", "TP [Mb/s]", "statistical screen (sim)");
   bench::print_rule(100);
 
-  core::baselines::SunarSchellekensTrng sunar(101);
-  const auto si = sunar.info();
-  print_row(si.work.c_str(), si.platform.c_str(), si.resources.c_str(),
-            si.throughput_bps / 1.0e6, screen_verdict(sunar, bits));
-
-  // Cyclone-3 figures: 133 MHz output; the faster sample clock leaves
-  // less jitter accumulation per sample, compensated by the Cyclone
-  // ring's larger per-period jitter.
-  core::baselines::SelfTimedRingTrng str_cyclone(
-      core::baselines::SelfTimedRingTrng::Params{511, 2497.3, 4.5, 133.0e6},
-      102);
-  print_row("[1] Cherkaoui et al. (self-timed ring)", "Cyclone 3",
-            ">511 LUTs", 133.0, screen_verdict(str_cyclone, bits));
-
-  core::baselines::SelfTimedRingTrng str_virtex(103);
-  const auto ri = str_virtex.info();
-  print_row(ri.work.c_str(), ri.platform.c_str(), ri.resources.c_str(),
-            ri.throughput_bps / 1.0e6, screen_verdict(str_virtex, bits));
-
-  core::baselines::TeroTrng tero(104);
-  const auto ti = tero.info();
-  print_row(ti.work.c_str(), ti.platform.c_str(), ti.resources.c_str(),
-            ti.throughput_bps / 1.0e6, screen_verdict(tero, bits));
-
-  // This work: both versions, resources from the elaborated design,
-  // throughput = f_clk / (NA * n_NIST) with Table 1's parameters.
-  fpga::Fabric fabric(fpga::DeviceGeometry{}, 42);
-  {
-    core::DesignParams p;  // k = 1, tA = 10 ns, np = 7
-    p.np = 7;
-    core::CarryChainTrng trng(fabric, p, 105);
-    stat::TestBattery::Options opt;
-    opt.include_slow = false;
-    stat::TestBattery battery(opt);
-    const bool ok = battery.run(trng.generate(bits)).all_passed();
-    char res[24];
-    std::snprintf(res, sizeof res, "%d slices", trng.resources().slices);
-    print_row("This work (k=1)", "Spartan 6 (sim)", res,
-              trng.throughput_bps() / 1.0e6,
-              ok ? "passes screen" : "fails screen");
-  }
-  {
-    // k = 4 entry: with our measured sigma_LUT = 2.0 ps the 50 ns point
-    // needs more compression than the paper's 13 (its H_RAW implies an
-    // effective sigma ~2.8 ps, see EXPERIMENTS.md); use the 200 ns / np=6
-    // row, which both the paper and our die support.
-    core::DesignParams p;
-    p.k = 4;
-    p.accumulation_cycles = 20;  // tA = 200 ns
-    p.np = 9;  // our die's measured n_NIST for this row (paper die: 6)
-    core::CarryChainTrng trng(fabric, p, 106);
-    stat::TestBattery::Options opt;
-    opt.include_slow = false;
-    stat::TestBattery battery(opt);
-    const bool ok = battery.run(trng.generate(bits)).all_passed();
-    char res[24];
-    std::snprintf(res, sizeof res, "%d slices", trng.resources().slices);
-    print_row("This work (k=4)", "Spartan 6 (sim)", res,
-              trng.throughput_bps() / 1.0e6,
-              ok ? "passes screen" : "fails screen");
+  const fpga::Fabric fabric(fpga::DeviceGeometry{}, 42);
+  std::uint64_t seed = 101;
+  for (const auto& factory : core::canonical_sources(fabric)) {
+    const auto source = factory.make(seed++);
+    print_row(source->info(), screen_verdict(*source, bits));
   }
 
   bench::print_rule(100);
@@ -110,6 +54,8 @@ int main() {
       "paper rows: [8] 565 slices / 2.5 Mb/s; [1] >511 LUTs / 133 & 100\n"
       "Mb/s; [11] not reported / 0.25 Mb/s; this work 67 slices / 14.3 Mb/s\n"
       "(k=1) and 40 slices / 1.53 Mb/s (k=4; we run the 200 ns point\n"
-      "at 0.83 Mb/s -- see the np discussion in EXPERIMENTS.md).\n");
+      "at 0.83 Mb/s -- see the np discussion in EXPERIMENTS.md).\n"
+      "The elementary-RO row is Section 5.3's comparison baseline, not a\n"
+      "Table-2 entry in the paper.\n");
   return 0;
 }

@@ -1,7 +1,10 @@
 // Online health monitoring — the paper's stated future work ("embedded
 // tests for on-the-fly evaluation", Section 7) in action.
 //
-// Phase 1 runs the healthy TRNG through the monitor (no alarms expected).
+// Phase 1 runs the healthy TRNG through the monitor (no alarms expected):
+// the generator is wrapped in the same XorCompressedSource decorator the
+// registry uses, drawn in batched 1024-bit blocks, and screened with
+// feed_block — the production datapath, not a per-bit demo loop.
 // Phase 2 emulates a total entropy-source failure — an attacker freezing
 // the ring oscillator (e.g. by voltage manipulation): every capture then
 // shows no edge and the output flatlines; the monitor must trip within a
@@ -10,15 +13,21 @@
 // adaptive-proportion test.
 //
 //   build/examples/online_health_monitor
+//
+// TRNG_EXAMPLE_BITS scales phase 1's post-processed bit budget (default
+// 40000) so smoke tests and full runs share this binary.
 #include <cstdio>
+#include <vector>
 
+#include "common/env.hpp"
 #include "common/rng.hpp"
-#include "core/extractor.hpp"
+#include "core/bit_source.hpp"
 #include "core/health.hpp"
 #include "core/trng.hpp"
 
 int main() {
   using namespace trng;
+  const std::size_t budget = common::env_size("TRNG_EXAMPLE_BITS", 40000);
   fpga::Fabric fabric(fpga::DeviceGeometry{}, 5);
   core::DesignParams params;
   params.accumulation_cycles = 2;  // tA = 20 ns: H_RAW bound ~ 0.996
@@ -26,20 +35,25 @@ int main() {
 
   // The monitor watches the POST-PROCESSED stream (np = 7), whose assessed
   // entropy comfortably exceeds 0.95; the raw stream's structural bias
-  // would trip a 0.95 monitor by design, not by failure.
+  // would trip a 0.95 monitor by design, not by failure. The decorator
+  // draws raw bits from the TRNG in batches and XOR-folds them.
   core::OnlineHealthMonitor monitor(/*h_per_bit=*/0.95);
-  core::XorPostProcessor pp(7);
+  core::XorCompressedSource compressed(trng, /*np=*/7);
 
-  std::printf("phase 1: healthy operation (280k captures -> 40k bits)\n");
+  std::printf("phase 1: healthy operation (%zu raw captures -> %zu bits)\n",
+              budget * 7, budget);
   std::uint64_t alarms = 0;
-  for (int i = 0; i < 280000; ++i) {
-    const bool raw = trng.next_raw_bit();
+  constexpr std::size_t kBlockBits = 1024;
+  std::vector<std::uint64_t> block(kBlockBits / 64);
+  for (std::size_t done = 0; done < budget;) {
+    const std::size_t n = budget - done < kBlockBits ? budget - done
+                                                     : kBlockBits;
+    compressed.generate_into(block.data(), n);
     // In hardware the extractor's edge_found flag feeds the total-failure
-    // test directly; no missed edges occur at m = 36.
-    bool out;
-    if (pp.feed(raw, out)) {
-      if (monitor.feed(out, /*edge_found=*/true)) ++alarms;
-    }
+    // test directly; no missed edges occur at m = 36, so feed_block's
+    // edge_found=true matches the datapath.
+    alarms += monitor.feed_block(block.data(), n);
+    done += n;
   }
   std::printf("  alarms: %llu (expected 0)\n",
               static_cast<unsigned long long>(alarms));

@@ -2,61 +2,66 @@
 // motivates (session keys, challenges, padding): generate 128-bit keys
 // with explicit entropy accounting from the stochastic model.
 //
-// Accounting: with worst-case entropy H per post-processed bit, a 128-bit
-// key carries >= 128 * H bits of entropy; to guarantee >= 128 bits we
-// instead draw ceil(128 / H_raw) raw bits per key through the XOR
-// compressor. Every key is gated by the online health monitor.
+// The generator is chosen from the BitSource registry at runtime
+// (TRNG_EXAMPLE_SOURCE, default "carry-k1" — the paper's t_A = 10 ns
+// design with XOR np = 7 already applied by the factory), each key is
+// filled with ONE batched generate_into() call, and the online health
+// monitor screens the key's packed words via feed_block.
 //
 //   build/examples/session_key_generation
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
 
 #include "core/health.hpp"
-#include "core/postprocess.hpp"
-#include "core/trng.hpp"
+#include "core/source_registry.hpp"
 #include "model/stochastic_model.hpp"
 
 int main() {
   using namespace trng;
   fpga::Fabric fabric(fpga::DeviceGeometry{}, 31);
 
-  core::DesignParams params;
-  params.accumulation_cycles = 2;  // tA = 20 ns
-  params.np = 7;
-  core::CarryChainTrng trng(fabric, params, 17);
+  const char* wanted_env = std::getenv("TRNG_EXAMPLE_SOURCE");
+  const std::string wanted = wanted_env ? wanted_env : "carry-k1";
+  std::unique_ptr<core::BitSource> source;
+  for (const auto& factory : core::canonical_sources(fabric)) {
+    if (factory.id == wanted) source = factory.make(/*seed=*/17);
+  }
+  if (!source) {
+    std::fprintf(stderr, "unknown source id '%s'\n", wanted.c_str());
+    return 2;
+  }
+  const core::SourceInfo info = source->info();
+  std::printf("source: %s (%s, %s)\n", info.name.c_str(),
+              info.platform.c_str(), info.resources.c_str());
 
-  // Entropy budget from the model (conservative: folded bound).
+  // Entropy budget from the model (conservative: folded bound), for the
+  // registry default's operating point t_A = 10 ns, k = 1, np = 7.
   core::PlatformParams platform;  // paper values; measure_all() on real use
   model::StochasticModel m(platform);
-  const double h_raw = m.folded_entropy_lower_bound(20000.0, 1);
-  const double b_raw = 0.5 - 0.5 * (1.0 - 2.0 * m.worst_case_bias(20000.0, 1));
-  const double h_post = m.entropy_after_postprocessing(20000.0, 1, params.np);
+  const double t_a_ps = 10000.0;
+  const unsigned np = 7;
+  const double h_raw = m.folded_entropy_lower_bound(t_a_ps, 1);
+  const double b_raw = 0.5 - 0.5 * (1.0 - 2.0 * m.worst_case_bias(t_a_ps, 1));
+  const double h_post = m.entropy_after_postprocessing(t_a_ps, 1, np);
   std::printf("entropy budget: H_raw(folded) >= %.4f, raw worst bias %.4f, "
               "H_post >= %.6f\n", h_raw, b_raw, h_post);
 
-  const double keys_per_second =
-      trng.throughput_bps() / 128.0;
+  const double keys_per_second = info.throughput_bps / 128.0;
   std::printf("key rate at %.2f Mb/s: %.0f keys/s (128-bit)\n\n",
-              trng.throughput_bps() / 1.0e6, keys_per_second);
+              info.throughput_bps / 1.0e6, keys_per_second);
 
   core::OnlineHealthMonitor monitor(0.95);
   int healthy_keys = 0;
   for (int key = 0; key < 8; ++key) {
-    core::XorPostProcessor pp(params.np);
+    // One batched call fills the key; the monitor screens the same packed
+    // words (health tests watch the post-processed stream — the raw
+    // stream's structural bias is expected and budgeted by np).
     std::uint64_t words[2] = {0, 0};
-    int collected = 0;
-    bool healthy = true;
-    while (collected < 128) {
-      const bool raw = trng.next_raw_bit();
-      bool out;
-      if (pp.feed(raw, out)) {
-        // Health tests watch the post-processed stream (the raw stream's
-        // structural bias is expected and budgeted by np).
-        healthy = !monitor.feed(out, /*edge_found=*/true) && healthy;
-        if (out) words[collected / 64] |= 1ULL << (collected % 64);
-        ++collected;
-      }
-    }
+    source->generate_into(words, 128);
+    const bool healthy = monitor.feed_block(words, 128) == 0;
     std::printf("key %d: %016llx%016llx  [health: %s]\n", key,
                 static_cast<unsigned long long>(words[1]),
                 static_cast<unsigned long long>(words[0]),
@@ -64,9 +69,7 @@ int main() {
     if (healthy) ++healthy_keys;
   }
   std::printf("\n%d/8 keys passed health gating; each consumed %u raw bits "
-              "(%.1f us of accumulation)\n", healthy_keys, 128 * params.np,
-              128.0 * params.np *
-                  static_cast<double>(params.accumulation_cycles) * 10.0 /
-                  1000.0);
+              "(%.1f us of accumulation)\n", healthy_keys, 128 * np,
+              128.0 * np * (t_a_ps / 1.0e6));
   return 0;
 }

@@ -47,7 +47,35 @@ void BitStream::append_bits(std::uint64_t value, unsigned count) {
   if (count > 64) {
     throw std::invalid_argument("BitStream::append_bits: count > 64");
   }
-  for (unsigned i = 0; i < count; ++i) push_back((value >> i) & 1ULL);
+  // append_words ignores bits above `count`, so the word-writer handles
+  // the masking and tail maintenance.
+  append_words(&value, count);
+}
+
+void BitStream::append_words(const std::uint64_t* words, std::size_t nbits) {
+  if (nbits == 0) return;
+  if (nbits > kMaxBits - size_) {
+    throw std::length_error("BitStream::append_words: size overflow");
+  }
+  const std::size_t nwords = (nbits + 63) / 64;
+  const unsigned shift = static_cast<unsigned>(size_ & 63);
+  if (shift == 0) {
+    words_.insert(words_.end(), words, words + nwords);
+  } else {
+    // Splice each incoming word across the partially-filled tail word.
+    words_.reserve((size_ + nbits + 63) / 64);
+    for (std::size_t w = 0; w < nwords; ++w) {
+      words_.back() |= words[w] << shift;
+      words_.push_back(words[w] >> (64 - shift));
+    }
+  }
+  size_ += nbits;
+  // Drop any spilled word and clear bits above `nbits` in the final input
+  // word so that the tail-bits-are-zero invariant holds even when the
+  // caller's buffer has garbage past nbits.
+  words_.resize((size_ + 63) / 64);
+  const unsigned tail = static_cast<unsigned>(size_ & 63);
+  if (tail != 0) words_.back() &= ~0ULL >> (64 - tail);
 }
 
 void BitStream::append(const BitStream& other) {

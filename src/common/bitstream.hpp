@@ -29,6 +29,13 @@ class BitStream {
   /// Appends the low `count` bits of `value`, LSB first.
   void append_bits(std::uint64_t value, unsigned count);
 
+  /// Appends `nbits` bits from a packed LSB-first word buffer (the layout
+  /// produced by core::BitSource::generate_into). `words` must hold at
+  /// least (nbits + 63) / 64 words; bits above `nbits` in the final word
+  /// are ignored. This is the bulk word-writer that replaces per-bit
+  /// push_back loops in generator hot paths.
+  void append_words(const std::uint64_t* words, std::size_t nbits);
+
   void append(const BitStream& other);
 
   /// Reads bit `i`; bounds-checked, throws std::out_of_range.

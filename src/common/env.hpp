@@ -1,0 +1,21 @@
+// Environment-variable size knobs shared by benches, examples and smoke
+// tests, so short CI budgets and full paper-scale runs share one binary.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+
+namespace trng::common {
+
+/// Reads a size knob from the environment (e.g. TRNG_BENCH_BITS); returns
+/// `fallback` when unset, unparsable or zero.
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || parsed == 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace trng::common

@@ -31,8 +31,10 @@ BitStream read_ascii_bits(const std::string& path) {
   char c;
   while (in.get(c)) {
     if (c == '0') {
+      // trng-lint: allow(TL006) -- ASCII parsing is inherently char-at-a-time
       bits.push_back(false);
     } else if (c == '1') {
+      // trng-lint: allow(TL006) -- ASCII parsing is inherently char-at-a-time
       bits.push_back(true);
     } else if (c != '\n' && c != '\r' && c != ' ' && c != '\t') {
       throw std::invalid_argument("read_ascii_bits: unexpected character");
@@ -75,10 +77,10 @@ BitStream read_binary_bits(const std::string& path) {
   while (remaining > 0) {
     const int c = in.get();
     if (c == EOF) throw std::runtime_error("read_binary_bits: truncated data");
-    const auto byte = static_cast<unsigned char>(c);
-    for (int b = 0; b < 8 && remaining > 0; ++b, --remaining) {
-      bits.push_back((byte >> b) & 1u);
-    }
+    const auto byte = static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    const unsigned take = remaining < 8 ? static_cast<unsigned>(remaining) : 8u;
+    bits.append_bits(byte, take);
+    remaining -= take;
   }
   return bits;
 }

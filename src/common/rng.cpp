@@ -1,7 +1,5 @@
 #include "common/rng.hpp"
 
-#include <cmath>
-
 namespace trng::common {
 
 std::uint64_t Xoshiro256StarStar::next_below(std::uint64_t bound) {
@@ -19,24 +17,6 @@ std::uint64_t Xoshiro256StarStar::next_below(std::uint64_t bound) {
     }
   }
   return static_cast<std::uint64_t>(m >> 64);
-}
-
-double Xoshiro256StarStar::next_gaussian() {
-  if (has_cached_gaussian_) {
-    has_cached_gaussian_ = false;
-    return cached_gaussian_;
-  }
-  // Marsaglia polar method: ~1.27 uniform pairs per output pair, no trig.
-  double u, v, s;
-  do {
-    u = 2.0 * next_double() - 1.0;
-    v = 2.0 * next_double() - 1.0;
-    s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
-  const double factor = std::sqrt(-2.0 * std::log(s) / s);
-  cached_gaussian_ = v * factor;
-  has_cached_gaussian_ = true;
-  return u * factor;
 }
 
 void Xoshiro256StarStar::jump() {

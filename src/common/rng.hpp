@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -79,7 +80,25 @@ class Xoshiro256StarStar {
   std::uint64_t next_below(std::uint64_t bound);
 
   /// Standard normal deviate (Marsaglia polar method with caching).
-  double next_gaussian();
+  /// Defined inline: this is the single hottest call in the physics
+  /// simulation (every transition and every flip-flop capture draws one).
+  double next_gaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    // Marsaglia polar method: ~1.27 uniform pairs per output pair, no trig.
+    double u, v, s;
+    do {
+      u = 2.0 * next_double() - 1.0;
+      v = 2.0 * next_double() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * factor;
+    has_cached_gaussian_ = true;
+    return u * factor;
+  }
 
   /// Jump function: advances the stream by 2^128 steps. Calling jump() k
   /// times on copies yields k non-overlapping parallel substreams.

@@ -7,31 +7,42 @@
 // netlists; deviations are noted per class.
 #pragma once
 
-#include <string>
+#include <cstdint>
 
 #include "common/bitstream.hpp"
+#include "core/bit_source.hpp"
 
 namespace trng::core::baselines {
 
-struct BaselineInfo {
-  std::string work;        ///< citation tag, e.g. "[8] Schellekens et al."
-  std::string platform;    ///< FPGA family of the published implementation
-  std::string resources;   ///< as reported in Table 2
-  double throughput_bps = 0.0;
-};
+/// The old per-baseline info struct is now the repo-wide SourceInfo (its
+/// `work` citation tag became `name`); the alias keeps old spellings alive.
+using BaselineInfo = SourceInfo;
 
-class BaselineTrng {
+/// Related-work baselines are inherently scalar mechanisms (one trigger /
+/// one sample clock edge per bit), so next_bit() stays their primary
+/// virtual and the batched contract packs it into words here — callers
+/// still get the word-level interface and a BitStream without per-bit
+/// push_back.
+class BaselineTrng : public BitSource {
  public:
-  virtual ~BaselineTrng() = default;
+  bool next_bit() override = 0;
 
-  virtual bool next_bit() = 0;
-  virtual BaselineInfo info() const = 0;
-
-  common::BitStream generate(std::size_t count) {
-    common::BitStream bits;
-    bits.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) bits.push_back(next_bit());
-    return bits;
+  void generate_into(std::uint64_t* words, std::size_t nbits) override {
+    // Accumulate each word in a register and store it once: per-bit |= into
+    // `words` would read-modify-write memory the compiler cannot keep in a
+    // register across the virtual next_bit() call. Bits at or above `nbits`
+    // in the final word stay zero.
+    // The pack is branchless because the bit is ~50/50 by design — a
+    // conditional OR would mispredict every other call.
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < nbits; ++i) {
+      word |= static_cast<std::uint64_t>(next_bit()) << (i & 63);
+      if ((i & 63) == 63) {
+        words[i >> 6] = word;
+        word = 0;
+      }
+    }
+    if ((nbits & 63) != 0) words[nbits >> 6] = word;
   }
 };
 

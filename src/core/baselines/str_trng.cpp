@@ -38,8 +38,8 @@ bool SelfTimedRingTrng::next_bit() {
 
 BaselineInfo SelfTimedRingTrng::info() const {
   BaselineInfo bi;
-  bi.work = "[1] Cherkaoui et al. (self-timed ring)";
-  bi.platform = "Virtex 5";
+  bi.name = "[1] Cherkaoui et al. (self-timed ring)";
+  bi.platform = params_.platform;
   bi.resources = ">511 LUTs";
   bi.throughput_bps = params_.sample_rate_hz;
   return bi;

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -38,6 +39,9 @@ class SelfTimedRingTrng : public BaselineTrng {
     Picoseconds ring_period_ps = 2497.3;
     Picoseconds stage_jitter_ps = 2.5;    ///< event-train jitter per period
     double sample_rate_hz = 100.0e6;      ///< Virtex-5 figure
+    /// Reported platform for info(); Table 2 lists both the Virtex-5 and
+    /// the (faster) Cyclone-3 implementations of the same design.
+    std::string platform = "Virtex 5";
   };
 
   SelfTimedRingTrng(Params params, std::uint64_t seed);

@@ -63,7 +63,7 @@ bool SunarSchellekensTrng::next_bit() {
 
 BaselineInfo SunarSchellekensTrng::info() const {
   BaselineInfo bi;
-  bi.work = "[8] Schellekens et al. (Sunar construction)";
+  bi.name = "[8] Schellekens et al. (Sunar construction)";
   bi.platform = "Virtex 2 pro";
   bi.resources = "565 slices";
   bi.throughput_bps = params_.sample_rate_hz *

@@ -25,7 +25,7 @@ bool TeroTrng::next_bit() {
 
 BaselineInfo TeroTrng::info() const {
   BaselineInfo bi;
-  bi.work = "[11] Varchola & Drutarovsky (TERO)";
+  bi.name = "[11] Varchola & Drutarovsky (TERO)";
   bi.platform = "Spartan 3E";
   bi.resources = "not reported";
   bi.throughput_bps = params_.trigger_rate_hz;

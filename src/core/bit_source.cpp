@@ -1,0 +1,17 @@
+#include "core/bit_source.hpp"
+
+#include <vector>
+
+namespace trng::core {
+
+common::BitStream BitSource::generate(std::size_t count) {
+  common::BitStream bits;
+  if (count == 0) return bits;
+  // One batched fill, then a word-level append: no per-bit push_back.
+  std::vector<std::uint64_t> buf((count + 63) / 64, 0);
+  generate_into(buf.data(), count);
+  bits.append_words(buf.data(), count);
+  return bits;
+}
+
+}  // namespace trng::core

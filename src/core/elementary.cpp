@@ -1,5 +1,6 @@
 #include "core/elementary.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -11,9 +12,8 @@ ElementaryTrng::ElementaryTrng(Picoseconds d0_ps, Picoseconds sigma_ps,
     : d0_(d0_ps),
       sigma_(sigma_ps),
       cycles_(accumulation_cycles),
-      t_acc_(static_cast<double>(accumulation_cycles) *
-             constants::kSystemClockPeriodPs),
       mode_(mode),
+      schedule_(constants::kSystemClockPeriodPs),
       rng_(seed) {
   if (!(d0_ps > 0.0) || !(sigma_ps >= 0.0) || accumulation_cycles == 0) {
     throw std::invalid_argument("ElementaryTrng: invalid parameters");
@@ -26,37 +26,78 @@ ElementaryTrng::ElementaryTrng(Picoseconds d0_ps, Picoseconds sigma_ps,
 }
 
 Picoseconds ElementaryTrng::accumulated_sigma_ps() const {
-  return sigma_ * std::sqrt(t_acc_ / d0_);
+  return sigma_ * std::sqrt(accumulation_time_ps() / d0_);
 }
 
 double ElementaryTrng::throughput_bps() const {
-  return constants::kSystemClockHz / static_cast<double>(cycles_);
+  return schedule_.raw_throughput_bps(cycles_);
 }
 
 bool ElementaryTrng::next_bit() {
   if (mode_ == Mode::kEventDriven) {
-    osc_->reset(cursor_);
-    const Picoseconds t_sample = cursor_ + t_acc_;
+    osc_->reset(schedule_.cursor_ps());
+    const Picoseconds t_sample = schedule_.begin_conversion(cycles_);
     osc_->advance_to(t_sample + 1.0);
-    const bool bit = osc_->value_at(0, t_sample);
-    cursor_ = t_sample + constants::kSystemClockPeriodPs;
-    return bit;
+    return osc_->value_at(0, t_sample);
   }
   // Analytic mode: from reset all-high, the one-stage ring toggles at
   // d0, 2*d0, ... so the noise-free value at t is
   // (floor(t / d0) even). Accumulated white jitter shifts the effective
   // sampling phase by N(0, sigma_acc^2).
   const Picoseconds jitter = accumulated_sigma_ps() * rng_.next_gaussian();
-  const double phase = (t_acc_ - jitter) / d0_;
+  const double phase = (accumulation_time_ps() - jitter) / d0_;
   const auto toggles = static_cast<long long>(std::floor(std::max(phase, 0.0)));
   return (toggles % 2) == 0;
 }
 
-common::BitStream ElementaryTrng::generate(std::size_t count) {
-  common::BitStream bits;
-  bits.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) bits.push_back(next_bit());
-  return bits;
+void ElementaryTrng::generate_into(std::uint64_t* words, std::size_t nbits) {
+  // Both branches accumulate each output word in a register and store it
+  // once (per-bit |= into `words` would read-modify-write memory every
+  // bit); bits at or above `nbits` in the final word stay zero.
+  // The packs below are branchless (bool shifted into place): the bit is
+  // ~50/50 by design, so a conditional OR would mispredict constantly.
+  std::uint64_t word = 0;
+  if (mode_ == Mode::kEventDriven) {
+    for (std::size_t i = 0; i < nbits; ++i) {
+      word |= static_cast<std::uint64_t>(next_bit()) << (i & 63);
+      if ((i & 63) == 63) {
+        words[i >> 6] = word;
+        word = 0;
+      }
+    }
+    if ((nbits & 63) != 0) words[nbits >> 6] = word;
+    return;
+  }
+  // Analytic kernel, word-packed. sigma_acc and t_acc are pure functions
+  // of the construction parameters, and the RNG runs on a local copy
+  // written back after the loop, so hoisting changes no draw — the packed
+  // bits equal nbits next_bit() calls exactly.
+  const Picoseconds sigma_acc = accumulated_sigma_ps();
+  const Picoseconds t_acc = accumulation_time_ps();
+  const Picoseconds d0 = d0_;
+  common::Xoshiro256StarStar rng = rng_;
+  for (std::size_t i = 0; i < nbits; ++i) {
+    const Picoseconds jitter = sigma_acc * rng.next_gaussian();
+    const double phase = (t_acc - jitter) / d0;
+    const auto toggles =
+        static_cast<long long>(std::floor(std::max(phase, 0.0)));
+    word |= static_cast<std::uint64_t>((toggles & 1) == 0) << (i & 63);
+    if ((i & 63) == 63) {
+      words[i >> 6] = word;
+      word = 0;
+    }
+  }
+  if ((nbits & 63) != 0) words[nbits >> 6] = word;
+  rng_ = rng;
+}
+
+SourceInfo ElementaryTrng::info() const {
+  SourceInfo si;
+  si.name = "Elementary RO TRNG";
+  si.platform = "Spartan 6 (sim)";
+  si.resources = "1 RO + 1 FF";
+  si.throughput_bps = throughput_bps();
+  return si;
 }
 
 }  // namespace trng::core

@@ -20,11 +20,13 @@
 #include "common/bitstream.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "core/bit_source.hpp"
+#include "sim/accumulation.hpp"
 #include "sim/ring_oscillator.hpp"
 
 namespace trng::core {
 
-class ElementaryTrng {
+class ElementaryTrng : public BitSource {
  public:
   enum class Mode { kEventDriven, kAnalytic };
 
@@ -35,24 +37,32 @@ class ElementaryTrng {
                  Cycles accumulation_cycles, std::uint64_t seed,
                  Mode mode = Mode::kAnalytic);
 
-  bool next_bit();
-  common::BitStream generate(std::size_t count);
+  bool next_bit() override;
+
+  /// BitSource: `nbits` bits. In analytic mode the closed-form kernel runs
+  /// word-packed (same RNG draws, bit-identical to next_bit()); in
+  /// event-driven mode each bit still runs the timing simulation.
+  void generate_into(std::uint64_t* words, std::size_t nbits) override;
+
+  /// BitSource: identity + Section 5.3's comparison figures.
+  SourceInfo info() const override;
 
   /// sigma_acc(t_A) = sigma * sqrt(t_A / d0) (Eq. 1).
   Picoseconds accumulated_sigma_ps() const;
 
   double throughput_bps() const;
-  Picoseconds accumulation_time_ps() const { return t_acc_; }
+  Picoseconds accumulation_time_ps() const {
+    return schedule_.accumulation_time_ps(cycles_);
+  }
 
  private:
   Picoseconds d0_;
   Picoseconds sigma_;
   Cycles cycles_;
-  Picoseconds t_acc_;
   Mode mode_;
+  sim::AccumulationSchedule schedule_;
   common::Xoshiro256StarStar rng_;
   std::unique_ptr<sim::RingOscillator> osc_;  // event-driven mode only
-  Picoseconds cursor_ = 0.0;
 };
 
 }  // namespace trng::core

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/delay_line.hpp"
+#include "sim/sampler.hpp"
 
 namespace trng::core {
 
@@ -35,6 +36,14 @@ class EntropyExtractor {
   /// have exactly m bits; throws std::invalid_argument otherwise.
   ExtractionResult extract(
       const std::vector<sim::LineSnapshot>& lines) const;
+
+  /// extract() on a packed capture: XOR-folds the lines word by word and
+  /// priority-encodes the first edge via countr_zero — no per-bit loop and
+  /// no intermediate vector<bool>. Produces identical results to the
+  /// scalar extract() on the equivalent snapshots. Throws
+  /// std::invalid_argument when the capture is empty or its tap count
+  /// differs from the configured m.
+  ExtractionResult extract_packed(const sim::PackedCapture& capture) const;
 
   /// The XOR-folded m-bit vector (step 1) — exposed for tests and the
   /// Figure 4 bench.

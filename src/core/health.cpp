@@ -28,6 +28,15 @@ bool RepetitionCountTest::feed(bool bit) {
   return false;
 }
 
+std::uint64_t RepetitionCountTest::feed_block(const std::uint64_t* words,
+                                              std::size_t nbits) {
+  std::uint64_t block_alarms = 0;
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (feed(((words[i >> 6] >> (i & 63)) & 1ULL) != 0)) ++block_alarms;
+  }
+  return block_alarms;
+}
+
 AdaptiveProportionTest::AdaptiveProportionTest(double h_per_bit,
                                                unsigned window,
                                                double alpha_log2)
@@ -72,6 +81,15 @@ bool AdaptiveProportionTest::feed(bool bit) {
   return alarm;
 }
 
+std::uint64_t AdaptiveProportionTest::feed_block(const std::uint64_t* words,
+                                                 std::size_t nbits) {
+  std::uint64_t block_alarms = 0;
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (feed(((words[i >> 6] >> (i & 63)) & 1ULL) != 0)) ++block_alarms;
+  }
+  return block_alarms;
+}
+
 TotalFailureTest::TotalFailureTest(unsigned consecutive_miss_cutoff)
     : cutoff_(consecutive_miss_cutoff) {
   if (cutoff_ == 0) {
@@ -101,6 +119,22 @@ bool OnlineHealthMonitor::feed(bool bit, bool edge_found) {
   const bool b = prop_.feed(bit);
   const bool c = fail_.feed(edge_found);
   return a || b || c;
+}
+
+std::uint64_t OnlineHealthMonitor::feed_block(const std::uint64_t* words,
+                                              std::size_t nbits) {
+  std::uint64_t block_alarms = 0;
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (feed(((words[i >> 6] >> (i & 63)) & 1ULL) != 0,
+             /*edge_found=*/true)) {
+      ++block_alarms;
+    }
+  }
+  return block_alarms;
+}
+
+std::uint64_t OnlineHealthMonitor::feed_block(const common::BitStream& bits) {
+  return feed_block(bits.words().data(), bits.size());
 }
 
 std::uint64_t OnlineHealthMonitor::total_alarms() const {

@@ -13,7 +13,10 @@
 // of slices, as an embedded test must be.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+
+#include "common/bitstream.hpp"
 
 namespace trng::core {
 
@@ -28,6 +31,11 @@ class RepetitionCountTest {
   /// Feeds one bit; returns true when the alarm fires (the run is then
   /// reset so monitoring can continue).
   bool feed(bool bit);
+
+  /// Feeds `nbits` packed bits (BitSource::generate_into layout); returns
+  /// the number of alarms fired within the block. Equivalent to feeding
+  /// each bit in order.
+  std::uint64_t feed_block(const std::uint64_t* words, std::size_t nbits);
 
   unsigned cutoff() const { return cutoff_; }
   std::uint64_t alarms() const { return alarms_; }
@@ -48,6 +56,9 @@ class AdaptiveProportionTest {
                          double alpha_log2 = 20.0);
 
   bool feed(bool bit);
+
+  /// Block form of feed(); returns the number of alarms in the block.
+  std::uint64_t feed_block(const std::uint64_t* words, std::size_t nbits);
 
   unsigned cutoff() const { return cutoff_; }
   unsigned window() const { return window_; }
@@ -86,6 +97,16 @@ class OnlineHealthMonitor {
 
   /// Feeds one capture outcome. Returns true when any test alarmed.
   bool feed(bool bit, bool edge_found);
+
+  /// Feeds a packed block of already-extracted bits (the BitSource layer's
+  /// native unit). Each bit counts as a successful capture (edge_found =
+  /// true) for the total-failure monitor — a BitSource hands out decoded
+  /// bits, so missed-edge info is only available via the per-capture
+  /// feed(). Returns the number of bits whose feed() returned an alarm.
+  std::uint64_t feed_block(const std::uint64_t* words, std::size_t nbits);
+
+  /// Convenience overload over a BitStream.
+  std::uint64_t feed_block(const common::BitStream& bits);
 
   std::uint64_t total_alarms() const;
   const RepetitionCountTest& repetition() const { return rep_; }

@@ -1,6 +1,7 @@
 #include "core/postprocess.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace trng::core {
 
@@ -25,6 +26,50 @@ common::BitStream XorPostProcessor::process(const common::BitStream& raw) const 
   return raw.xor_fold(np_);
 }
 
+XorCompressedSource::XorCompressedSource(BitSource& source, unsigned np)
+    : source_(&source), np_(np) {
+  if (np == 0) {
+    throw std::invalid_argument("XorCompressedSource: np must be >= 1");
+  }
+}
+
+XorCompressedSource::XorCompressedSource(std::unique_ptr<BitSource> source,
+                                         unsigned np)
+    : owned_(std::move(source)), source_(owned_.get()), np_(np) {
+  if (source_ == nullptr) {
+    throw std::invalid_argument("XorCompressedSource: null source");
+  }
+  if (np == 0) {
+    throw std::invalid_argument("XorCompressedSource: np must be >= 1");
+  }
+}
+
+void XorCompressedSource::generate_into(std::uint64_t* words,
+                                        std::size_t nbits) {
+  const std::size_t out_words = (nbits + 63) / 64;
+  for (std::size_t w = 0; w < out_words; ++w) words[w] = 0;
+  if (nbits == 0) return;
+  const std::size_t raw_bits = nbits * np_;
+  raw_buf_.assign((raw_bits + 63) / 64, 0);
+  source_->generate_into(raw_buf_.data(), raw_bits);
+  // Fold each group of np consecutive raw bits into one output bit.
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < nbits; ++i) {
+    unsigned acc = 0;
+    for (unsigned j = 0; j < np_; ++j, ++r) {
+      acc ^= static_cast<unsigned>((raw_buf_[r >> 6] >> (r & 63)) & 1ULL);
+    }
+    words[i >> 6] |= static_cast<std::uint64_t>(acc) << (i & 63);
+  }
+}
+
+SourceInfo XorCompressedSource::info() const {
+  SourceInfo si = source_->info();
+  si.name += " + XOR np=" + std::to_string(np_);
+  si.throughput_bps /= static_cast<double>(np_);
+  return si;
+}
+
 bool VonNeumannPostProcessor::feed(bool raw, bool& out) {
   if (!have_first_) {
     first_ = raw;
@@ -43,6 +88,7 @@ common::BitStream VonNeumannPostProcessor::process(
   common::BitStream out;
   for (std::size_t i = 0; i < raw.size(); ++i) {
     bool bit;
+    // trng-lint: allow(TL006) -- von Neumann rejection's output length is data-dependent, so there is no packed-word batch to append
     if (vn.feed(raw[i], bit)) out.push_back(bit);
   }
   return out;

@@ -8,8 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "common/bitstream.hpp"
+#include "core/bit_source.hpp"
 
 namespace trng::core {
 
@@ -32,6 +35,34 @@ class XorPostProcessor {
   unsigned np_;
   unsigned fill_ = 0;
   bool acc_ = false;
+};
+
+/// BitSource decorator applying XOR compression to ANY source: each output
+/// bit is the XOR of np consecutive bits pulled (batched) from the inner
+/// source. This is how polymorphic consumers (registry, battery, health
+/// chain) get a post-processed stream without knowing the concrete
+/// generator: source -> XorCompressedSource -> health -> battery.
+class XorCompressedSource : public BitSource {
+ public:
+  /// Non-owning: `source` must outlive the decorator. np >= 1.
+  XorCompressedSource(BitSource& source, unsigned np);
+
+  /// Owning variant for factory registries. Throws on null source / np == 0.
+  XorCompressedSource(std::unique_ptr<BitSource> source, unsigned np);
+
+  void generate_into(std::uint64_t* words, std::size_t nbits) override;
+
+  /// Inner source's info with the name suffixed " + XOR np=<np>" and the
+  /// throughput divided by np (the rate-for-entropy trade of Eq. 7).
+  SourceInfo info() const override;
+
+  unsigned np() const { return np_; }
+
+ private:
+  std::unique_ptr<BitSource> owned_;  ///< null in the non-owning case
+  BitSource* source_;
+  unsigned np_;
+  std::vector<std::uint64_t> raw_buf_;
 };
 
 /// Von Neumann debiaser: consumes bit pairs, emits 0 for "01", 1 for "10",

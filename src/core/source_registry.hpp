@@ -1,0 +1,35 @@
+// Factory registry of the repository's canonical bit sources.
+//
+// Table 2's bench, the examples and the design-space tools used to
+// hard-code one concrete generator type per row; the registry replaces
+// those switches with data: every entry constructs a ready-to-run
+// BitSource (post-processing decorators already applied) from a seed, so
+// consumers iterate sources uniformly through the BitSource interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bit_source.hpp"
+#include "fpga/fabric.hpp"
+
+namespace trng::core {
+
+struct SourceFactory {
+  std::string id;           ///< stable machine id, e.g. "carry-k1"
+  std::string description;  ///< one-line human description
+  std::function<std::unique_ptr<BitSource>(std::uint64_t seed)> make;
+};
+
+/// The canonical line-up: the paper's TRNG at its two Table-1/Table-2
+/// operating points (k=1 and k=4, XOR post-processing applied), the
+/// elementary RO baseline of Section 5.3, and the three related-work
+/// designs of Table 2 (the self-timed ring at both its published operating
+/// points). Factories capture `fabric` by pointer — it must outlive every
+/// source they create.
+std::vector<SourceFactory> canonical_sources(const fpga::Fabric& fabric);
+
+}  // namespace trng::core

@@ -1,5 +1,8 @@
 #include "core/trng.hpp"
 
+#include <algorithm>
+#include <string>
+
 namespace trng::core {
 
 namespace {
@@ -47,27 +50,58 @@ bool CarryChainTrng::next_raw_bit() {
   return r.bit;
 }
 
+void CarryChainTrng::generate_into(std::uint64_t* words, std::size_t nbits) {
+  std::fill_n(words, (nbits + 63) / 64, std::uint64_t{0});
+  // Accumulate diagnostics in locals and fold them in once after the loop:
+  // `words` may alias *this as far as the compiler knows, so member
+  // increments inside the loop would each cost a load/store pair.
+  std::uint64_t double_edges = 0, bubbles = 0, missed = 0;
+  for (std::size_t i = 0; i < nbits; ++i) {
+    sampler_.next_capture_into(params_.accumulation_cycles, scratch_);
+
+    const sim::SnapshotClass cls = sim::classify_packed(scratch_);
+    switch (cls) {
+      case sim::SnapshotClass::kDoubleEdge: ++double_edges; break;
+      case sim::SnapshotClass::kBubbles: ++bubbles; break;
+      case sim::SnapshotClass::kNoEdge: break;  // counted below via extractor
+      case sim::SnapshotClass::kRegular: break;
+    }
+
+    const ExtractionResult r = extractor_.extract_packed(scratch_);
+    if (!r.edge_found) {
+      ++missed;
+      continue;  // the bit stays 0, as in next_raw_bit()
+    }
+    words[i >> 6] |= static_cast<std::uint64_t>(r.bit) << (i & 63);
+  }
+  diagnostics_.captures += nbits;
+  diagnostics_.double_edges += double_edges;
+  diagnostics_.bubbles += bubbles;
+  diagnostics_.missed_edges += missed;
+}
+
 common::BitStream CarryChainTrng::generate_raw(std::size_t count) {
-  common::BitStream bits;
-  bits.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) bits.push_back(next_raw_bit());
-  return bits;
+  return BitSource::generate(count);
 }
 
 common::BitStream CarryChainTrng::generate(std::size_t count) {
-  XorPostProcessor pp(params_.np);
-  common::BitStream bits;
-  bits.reserve(count);
-  while (bits.size() < count) {
-    bool out;
-    if (pp.feed(next_raw_bit(), out)) bits.push_back(out);
-  }
-  return bits;
+  if (count == 0) return common::BitStream{};
+  // count * np raw bits through the batched path, XOR-folded np -> 1: the
+  // same stream XorPostProcessor::feed produces bit by bit.
+  return BitSource::generate(count * params_.np).xor_fold(params_.np);
+}
+
+SourceInfo CarryChainTrng::info() const {
+  SourceInfo si;
+  si.name = "This work (k=" + std::to_string(params_.k) + ")";
+  si.platform = "Spartan 6 (sim)";
+  si.resources = std::to_string(elaborated_.resources.slices) + " slices";
+  si.throughput_bps = raw_throughput_bps();
+  return si;
 }
 
 double CarryChainTrng::raw_throughput_bps() const {
-  return constants::kSystemClockHz /
-         static_cast<double>(params_.accumulation_cycles);
+  return sampler_.schedule().raw_throughput_bps(params_.accumulation_cycles);
 }
 
 double CarryChainTrng::throughput_bps() const {

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "common/bitstream.hpp"
+#include "core/bit_source.hpp"
 #include "core/config.hpp"
 #include "core/extractor.hpp"
 #include "core/postprocess.hpp"
@@ -21,7 +22,12 @@
 
 namespace trng::core {
 
-class CarryChainTrng {
+/// The BitSource facet emits RAW (pre-post-processing) bits: next_bit() is
+/// next_raw_bit() and generate_into() is the batched raw path. The
+/// post-processed stream stays available as generate() (which name-hides
+/// BitSource::generate — it consumes count * np raw bits), or, for
+/// polymorphic consumers, by wrapping the TRNG in XorCompressedSource.
+class CarryChainTrng : public BitSource {
  public:
   /// Places the canonical floorplan (Section 5) on `fabric`, elaborates it
   /// and builds the datapath. `noise` defaults to the full noise taxonomy;
@@ -37,7 +43,19 @@ class CarryChainTrng {
   /// yields 0 and is counted in diagnostics().missed_edges.
   bool next_raw_bit();
 
-  /// Generates `count` raw bits.
+  /// BitSource: one raw bit (scalar reference path).
+  bool next_bit() override { return next_raw_bit(); }
+
+  /// BitSource: `nbits` raw bits via the fused packed capture -> packed
+  /// classify -> packed extract pipeline. Bit-identical to calling
+  /// next_raw_bit() nbits times from the same generator state (the RNG
+  /// draw order is preserved), but without per-capture allocations.
+  void generate_into(std::uint64_t* words, std::size_t nbits) override;
+
+  /// BitSource: identity + the paper's headline raw-rate figures.
+  SourceInfo info() const override;
+
+  /// Generates `count` raw bits (batched path).
   common::BitStream generate_raw(std::size_t count);
 
   /// Generates `count` post-processed bits (consumes count * np raw bits).
@@ -74,6 +92,7 @@ class CarryChainTrng {
   sim::SampleController sampler_;
   EntropyExtractor extractor_;
   Diagnostics diagnostics_;
+  sim::PackedCapture scratch_;  ///< reused by generate_into
 };
 
 }  // namespace trng::core

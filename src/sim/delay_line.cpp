@@ -1,6 +1,9 @@
 #include "sim/delay_line.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace trng::sim {
@@ -72,6 +75,101 @@ LineSnapshot TappedDelayLineSim::capture(const RingOscillator& source,
   return bits;
 }
 
+void TappedDelayLineSim::capture_into(const RingOscillator& source, int stage,
+                                      Picoseconds t_clk,
+                                      std::uint64_t* out_words) {
+  const int m = taps();
+  const Picoseconds half_aperture = ff_spec_.aperture_ps / 2.0;
+
+  // Flatten this stage's toggle history once: the per-tap scan below then
+  // walks contiguous memory instead of binary-searching the segmented
+  // deque three times per flip-flop (value_at + edges_in) and allocating a
+  // fresh edge vector per tap like the scalar path does. The +/-infinity
+  // sentinels absorb the hi == 0 / hi == n boundary checks: the walk and
+  // the aperture-window compares below never read past a sentinel, and a
+  // sentinel can never satisfy an in-window predicate.
+  const auto& hist = source.toggle_history(stage);
+  scratch_toggles_.clear();
+  scratch_toggles_.reserve(hist.size() + 2);
+  scratch_toggles_.push_back(-std::numeric_limits<Picoseconds>::infinity());
+  scratch_toggles_.insert(scratch_toggles_.end(), hist.begin(), hist.end());
+  scratch_toggles_.push_back(std::numeric_limits<Picoseconds>::infinity());
+  const Picoseconds* q = scratch_toggles_.data();
+  const std::size_t n = hist.size();
+  const bool now_value = source.current_value(stage);
+
+  // Hoisted per-tap inputs: same values observation_time and the member
+  // lookups produce, minus a bounds-checked call per flip-flop.
+  const Picoseconds* skew = timing_.ff_clock_skew.data();
+  const Picoseconds* cum = timing_.cumulative_delay.data();
+  const Picoseconds* stat = static_offset_.data();
+  const double dyn = ff_spec_.dynamic_jitter_sigma_ps;
+  const double tau = ff_spec_.resolution_tau_ps;
+  // Work on a local copy of the RNG (written back below) so its state can
+  // stay in registers across the loop; the draw sequence is unchanged.
+  common::Xoshiro256StarStar rng = rng_;
+  std::uint64_t meta_events = 0;
+
+  // hi = index of the first retained toggle strictly after s — exactly the
+  // upper_bound value_at computes. Adjacent taps' observation instants are
+  // a bin width apart, so a short walk from the previous tap's position
+  // replaces a fresh binary search for every tap after the first.
+  // Accumulate each output word in a register and store it once: out_words
+  // is a uint64_t* the compiler must assume can alias the RNG state, so
+  // per-tap read-modify-write stores would force member reloads every
+  // iteration. Every word in [0, ceil(m/64)) gets written exactly once, and
+  // bits at or above `m` in the last word stay zero.
+  std::uint64_t word = 0;
+  // hi indexes the padded array: q[hi] is the first toggle strictly after s
+  // (q[1..n] are the real toggles), so hi stays in [1, n + 1]. Starting at
+  // n + 1 lets tap 0 walk down from the newest toggle — the observation
+  // instants sit near the end of the retained history, so a step or two
+  // replaces a binary search and lands on the same index upper_bound gives.
+  std::size_t hi = n + 1;
+  for (int j = 0; j < m; ++j) {
+    // Same association as the scalar path:
+    // ((t_clk + skew) - cum) + static + dyn * gaussian.
+    const Picoseconds s =
+        (t_clk + skew[j]) - cum[j] + stat[j] + dyn * rng.next_gaussian();
+    while (q[hi - 1] > s) --hi;
+    while (q[hi] <= s) ++hi;
+    // Parity un-flip of the current value — same computation as value_at
+    // (n + 1 - hi real toggles lie strictly after s).
+    bool v = now_value != (((n + 1 - hi) & 1U) != 0);
+
+    // Metastability: the toggle nearest to s in [s - ha, s + ha] can only
+    // be one of the two neighbours q[hi-1] (<= s) and q[hi] (> s), so the
+    // window-occupancy test and the nearest-edge distance reduce to those
+    // two — same predicate and same min as the scalar edges_in scan.
+    const Picoseconds t0 = s - half_aperture;
+    const Picoseconds t1 = s + half_aperture;
+    const bool left_in = !(q[hi - 1] < t0);
+    const bool right_in = !(t1 < q[hi]);
+    if (left_in || right_in) {
+      Picoseconds nearest = half_aperture;
+      // q[hi-1] <= s < q[hi], so the absolute distances reduce to exact
+      // same-value subtractions.
+      if (left_in) nearest = std::min(nearest, s - q[hi - 1]);
+      if (right_in) nearest = std::min(nearest, q[hi] - s);
+      const double p_meta = std::exp(-nearest / tau);
+      if (rng.next_double() < p_meta) {
+        v = rng.next_double() < 0.5;
+        ++meta_events;
+      }
+    }
+    // Branchless pack: v is an unpredictable ~50/50 bit, so a conditional
+    // OR would mispredict every other capture.
+    word |= static_cast<std::uint64_t>(v) << (j & 63);
+    if ((j & 63) == 63) {
+      out_words[j >> 6] = word;
+      word = 0;
+    }
+  }
+  if ((m & 63) != 0) out_words[static_cast<std::size_t>(m) >> 6] = word;
+  rng_ = rng;
+  metastable_events_ += meta_events;
+}
+
 std::vector<Picoseconds> TappedDelayLineSim::effective_bin_widths() const {
   std::vector<Picoseconds> widths;
   const int m = taps();
@@ -96,6 +194,52 @@ bool has_bubble(const LineSnapshot& snapshot) {
     if (snapshot[j] != snapshot[j - 1] && snapshot[j] != snapshot[j + 1]) {
       return true;
     }
+  }
+  return false;
+}
+
+int count_edges_packed(const std::uint64_t* words, int taps) {
+  if (taps <= 1) return 0;
+  const std::size_t pairs = static_cast<std::size_t>(taps) - 1;
+  const std::size_t nwords = (static_cast<std::size_t>(taps) + 63) / 64;
+  int edges = 0;
+  for (std::size_t w = 0; w < nwords; ++w) {
+    const std::uint64_t next0 =
+        (w + 1 < nwords) ? (words[w + 1] & 1ULL) : 0ULL;
+    // Bit b marks a transition between taps 64w+b and 64w+b+1.
+    std::uint64_t x = words[w] ^ ((words[w] >> 1) | (next0 << 63));
+    const std::size_t base = w * 64;
+    if (pairs < base + 64) {
+      const std::size_t valid = pairs > base ? pairs - base : 0;
+      x &= valid == 0 ? 0ULL : (~0ULL >> (64 - valid));
+    }
+    edges += std::popcount(x);
+  }
+  return edges;
+}
+
+bool has_bubble_packed(const std::uint64_t* words, int taps) {
+  if (taps < 3) return false;
+  const std::size_t nwords = (static_cast<std::size_t>(taps) + 63) / 64;
+  const std::size_t last = static_cast<std::size_t>(taps) - 2;
+  for (std::size_t w = 0; w < nwords; ++w) {
+    const std::uint64_t v = words[w];
+    const std::uint64_t prev63 = (w > 0) ? (words[w - 1] >> 63) : 0ULL;
+    const std::uint64_t next0 =
+        (w + 1 < nwords) ? (words[w + 1] & 1ULL) : 0ULL;
+    const std::uint64_t left = (v << 1) | prev63;
+    const std::uint64_t right = (v >> 1) | (next0 << 63);
+    std::uint64_t b = (v ^ left) & (v ^ right);
+    // Restrict to interior taps 1 .. taps-2.
+    const std::size_t base = w * 64;
+    std::uint64_t mask = ~0ULL;
+    if (base == 0) mask &= ~1ULL;
+    if (last < base) {
+      mask = 0;
+    } else if (last - base < 63) {
+      mask &= ~0ULL >> (63 - (last - base));
+    }
+    if ((b & mask) != 0) return true;
   }
   return false;
 }

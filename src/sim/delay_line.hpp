@@ -43,6 +43,15 @@ class TappedDelayLineSim {
   LineSnapshot capture(const RingOscillator& source, int stage,
                        Picoseconds t_clk);
 
+  /// Batched form of capture(): writes the snapshot packed LSB-first into
+  /// `out_words` (tap j -> out_words[j >> 6] bit (j & 63); the caller
+  /// provides at least (taps() + 63) / 64 words, which are zero-filled
+  /// first). Draws the RNG in exactly the same order as capture(), so for
+  /// the same seed and history the packed bits equal the scalar snapshot
+  /// bit for bit — the scalar path stays the reference implementation.
+  void capture_into(const RingOscillator& source, int stage, Picoseconds t_clk,
+                    std::uint64_t* out_words);
+
   /// Nominal observation instant of tap j in signal time (see file
   /// comment), excluding the FF's static threshold offset and dynamic
   /// jitter (use static_offset() for the former).
@@ -66,6 +75,7 @@ class TappedDelayLineSim {
   fpga::FlipFlopTimingSpec ff_spec_;
   common::Xoshiro256StarStar rng_;
   std::vector<Picoseconds> static_offset_;  ///< per-FF, fixed per die
+  std::vector<Picoseconds> scratch_toggles_;  ///< capture_into work buffer
   std::uint64_t metastable_events_ = 0;
 };
 
@@ -84,6 +94,13 @@ int count_edges(const LineSnapshot& snapshot);
 /// True when the snapshot contains an isolated single-bit glitch
 /// (pattern 010 or 101 with the single bit differing from both neighbours).
 bool has_bubble(const LineSnapshot& snapshot);
+
+/// count_edges on a packed snapshot of `taps` bits (capture_into layout):
+/// XOR-with-shift plus popcount per word instead of a per-bit loop.
+int count_edges_packed(const std::uint64_t* words, int taps);
+
+/// has_bubble on a packed snapshot of `taps` bits.
+bool has_bubble_packed(const std::uint64_t* words, int taps);
 
 /// Classifies the set of line snapshots of one capture.
 SnapshotClass classify_snapshots(const std::vector<LineSnapshot>& lines);

@@ -1,7 +1,5 @@
 #include "sim/noise.hpp"
 
-#include <cmath>
-
 namespace trng::sim {
 
 SupplyNoise::SupplyNoise(const NoiseConfig& config, std::uint64_t seed)
@@ -11,24 +9,6 @@ SupplyNoise::SupplyNoise(const NoiseConfig& config, std::uint64_t seed)
       walk_sigma_(config.supply_walk_rel_per_step),
       rng_(seed ^ 0x5099177B01523ULL) {
   phase_ = rng_.next_double() * 2.0 * 3.14159265358979323846;
-}
-
-double SupplyNoise::multiplier_at(Picoseconds t) {
-  // Advance the random walk to the step containing t. Linear interpolation
-  // between step values keeps the process continuous.
-  const auto step = static_cast<std::int64_t>(std::floor(t / step_ps_));
-  while (current_step_ < step) {
-    walk_prev_ = walk_value_;
-    walk_value_ += walk_sigma_ * rng_.next_gaussian();
-    ++current_step_;
-  }
-  const double frac = t / step_ps_ - static_cast<double>(current_step_ - 1);
-  const double walk = (walk_sigma_ == 0.0)
-                          ? 0.0
-                          : walk_prev_ + (walk_value_ - walk_prev_) *
-                                             std::min(std::max(frac, 0.0), 1.0);
-  const double tone = amp_ * std::sin(omega_per_ps_ * t + phase_);
-  return 1.0 + tone + walk;
 }
 
 }  // namespace trng::sim

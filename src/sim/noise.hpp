@@ -12,6 +12,8 @@
 // bound when the non-white components are present.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "common/rng.hpp"
@@ -55,6 +57,38 @@ struct NoiseConfig {
   }
 };
 
+namespace detail {
+
+/// sin(x) via Cody-Waite argument reduction and an odd Taylor polynomial on
+/// [-pi/2, pi/2]. Absolute error < 1e-7 for |x| < 1e8, which modulates the
+/// supply tone (relative amplitude ~5e-5) by < 5e-12 — far below every other
+/// noise source in the simulation. Used instead of libm sin because the tone
+/// is evaluated once per simulated oscillator transition and libm's
+/// large-argument reduction dominates that budget.
+inline double tone_sin(double x) {
+  // Split pi so k * kPiHi is exact for |k| < 2^27 (kPiHi has 26 mantissa
+  // bits): the reduction r = x - k*pi then loses no significance.
+  constexpr double kInvPi = 0.3183098861837907;
+  constexpr double kPiHi = 3.14159265160560607910;
+  constexpr double kPiLo = 1.98418714791870343106e-09;
+  const double kd = std::nearbyint(x * kInvPi);
+  const auto k = static_cast<std::int64_t>(kd);
+  const double r = (x - kd * kPiHi) - kd * kPiLo;
+  const double r2 = r * r;
+  // Taylor coefficients of sin about 0 (odd terms through r^11); max error
+  // ~r^13/13! ~ 6e-8 at |r| = pi/2.
+  const double p =
+      r * (1.0 +
+           r2 * (-1.6666666666666666e-01 +
+                 r2 * (8.3333333333333332e-03 +
+                       r2 * (-1.9841269841269841e-04 +
+                             r2 * (2.7557319223985893e-06 +
+                                   r2 * (-2.5052108385441720e-08))))));
+  return (k & 1) ? -p : p;
+}
+
+}  // namespace detail
+
 /// Common-mode supply/global noise: every delay element on the die sees the
 /// same multiplicative modulation. Shared (by reference) between all
 /// oscillators so differential measurements cancel it — which is exactly why
@@ -65,8 +99,33 @@ class SupplyNoise {
 
   /// Delay multiplier at absolute time `t` (monotone queries advance the
   /// random-walk state lazily; out-of-order queries within the current step
-  /// are fine).
-  double multiplier_at(Picoseconds t);
+  /// are fine). Inline: called once per simulated transition.
+  double multiplier_at(Picoseconds t) {
+    // Advance the random walk to the step containing t. Linear interpolation
+    // between step values keeps the process continuous. With a zero step
+    // sigma the walk is identically zero, so the state advance is skipped
+    // (its draws feed no other consumer).
+    double walk = 0.0;
+    if (walk_sigma_ != 0.0) {
+      // t * (1/step) instead of t / step: one multiply per call on the
+      // per-transition path; the reciprocal is exact to 1 ulp.
+      const double t_steps = t * inv_step_ps_;
+      const auto step = static_cast<std::int64_t>(std::floor(t_steps));
+      while (current_step_ < step) {
+        walk_prev_ = walk_value_;
+        walk_value_ += walk_sigma_ * rng_.next_gaussian();
+        ++current_step_;
+      }
+      const double frac = t_steps - static_cast<double>(current_step_ - 1);
+      walk = walk_prev_ + (walk_value_ - walk_prev_) *
+                              std::min(std::max(frac, 0.0), 1.0);
+    }
+    // A zero-amplitude tone contributes exactly +/-0.0 to the sum below, so
+    // skipping the sine is bit-identical for that configuration.
+    const double tone =
+        amp_ == 0.0 ? 0.0 : amp_ * detail::tone_sin(omega_per_ps_ * t + phase_);
+    return 1.0 + tone + walk;
+  }
 
  private:
   double amp_;
@@ -74,6 +133,7 @@ class SupplyNoise {
   double phase_;
   double walk_sigma_;
   Picoseconds step_ps_ = 1.0e6;  ///< 1 us random-walk update step
+  double inv_step_ps_ = 1.0e-6;  ///< reciprocal of step_ps_
   std::int64_t current_step_ = 0;
   double walk_value_ = 0.0;
   double walk_prev_ = 0.0;

@@ -13,6 +13,8 @@ RingOscillator::RingOscillator(std::vector<Picoseconds> stage_delays,
                                Picoseconds history_window_ps)
     : stage_delays_(std::move(stage_delays)),
       white_sigma_(white_sigma_ps * noise.white_sigma_scale),
+      flicker_coeff_(std::sqrt(1.0 - noise.flicker_corr * noise.flicker_corr) *
+                     noise.flicker_sigma_ps),
       noise_(noise),
       supply_(supply),
       rng_(seed),
@@ -26,7 +28,7 @@ RingOscillator::RingOscillator(std::vector<Picoseconds> stage_delays,
     }
   }
   toggles_.resize(stage_delays_.size());
-  value_.assign(stage_delays_.size(), true);
+  value_.assign(stage_delays_.size(), 1);
 }
 
 Picoseconds RingOscillator::mean_stage_delay() const {
@@ -43,7 +45,7 @@ Picoseconds RingOscillator::nominal_half_period() const {
 
 void RingOscillator::reset(Picoseconds t0) {
   for (auto& q : toggles_) q.clear();
-  std::fill(value_.begin(), value_.end(), true);
+  std::fill(value_.begin(), value_.end(), static_cast<unsigned char>(1));
   running_ = true;
   now_ = t0;
   // ENABLE rises at t0: the NAND (stage 0) sees both inputs high and its
@@ -51,8 +53,7 @@ void RingOscillator::reset(Picoseconds t0) {
   pending_stage_ = 0;
   const double mult = supply_ ? supply_->multiplier_at(t0) : 1.0;
   flicker_state_ = noise_.flicker_corr * flicker_state_ +
-                   std::sqrt(1.0 - noise_.flicker_corr * noise_.flicker_corr) *
-                       noise_.flicker_sigma_ps * rng_.next_gaussian();
+                   flicker_coeff_ * rng_.next_gaussian();
   pending_time_ = t0 + stage_delays_[0] * mult +
                   white_sigma_ * rng_.next_gaussian() + flicker_state_;
 }
@@ -61,31 +62,64 @@ void RingOscillator::advance_to(Picoseconds t) {
   if (!running_) {
     throw std::logic_error("RingOscillator::advance_to: call reset() first");
   }
-  while (pending_time_ <= t) {
-    const int s = pending_stage_;
-    toggles_[static_cast<std::size_t>(s)].push_back(pending_time_);
-    value_[static_cast<std::size_t>(s)] = !value_[static_cast<std::size_t>(s)];
-    ++transitions_;
+  // Hoist loop-carried state into locals: the deque push_back below may
+  // write through pointers the compiler cannot prove distinct from *this,
+  // which would force a reload of every member each iteration. The
+  // arithmetic (and hence the random stream) is unchanged.
+  const int nstages = stages();
+  const double corr = noise_.flicker_corr;
+  const double fcoeff = flicker_coeff_;
+  const double wsigma = white_sigma_;
+  const Picoseconds* sd = stage_delays_.data();
+  std::deque<Picoseconds>* tg = toggles_.data();
+  unsigned char* val = value_.data();
+  double fs = flicker_state_;
+  Picoseconds pt = pending_time_;
+  int ps = pending_stage_;
+  std::uint64_t trans = transitions_;
+  common::Xoshiro256StarStar rng = rng_;
+  // The supply's tone/walk state is likewise copied in and written back so
+  // multiplier_at runs entirely on locals; nobody else queries the shared
+  // supply while this loop runs, so the draw order it sees is unchanged.
+  SupplyNoise supply_local = supply_ ? *supply_ : SupplyNoise{{}, 0};
+  SupplyNoise* const sup = supply_ ? &supply_local : nullptr;
+  while (pt <= t) {
+    tg[static_cast<std::size_t>(ps)].push_back(pt);
+    val[static_cast<std::size_t>(ps)] ^= 1u;
+    ++trans;
 
-    // Launch the transition into the next stage.
-    const int next = (s + 1) % stages();
-    const double mult = supply_ ? supply_->multiplier_at(pending_time_) : 1.0;
-    flicker_state_ =
-        noise_.flicker_corr * flicker_state_ +
-        std::sqrt(1.0 - noise_.flicker_corr * noise_.flicker_corr) *
-            noise_.flicker_sigma_ps * rng_.next_gaussian();
-    Picoseconds delay = stage_delays_[static_cast<std::size_t>(next)] * mult +
-                        white_sigma_ * rng_.next_gaussian() + flicker_state_;
+    // Launch the transition into the next stage (wrap without the integer
+    // division a % would cost on this per-event path).
+    int next = ps + 1;
+    if (next == nstages) next = 0;
+    const double mult = sup ? sup->multiplier_at(pt) : 1.0;
+    fs = corr * fs + fcoeff * rng.next_gaussian();
+    Picoseconds delay = sd[next] * mult + wsigma * rng.next_gaussian() + fs;
     // Physical floor: a gate cannot have non-positive propagation delay.
-    delay = std::max(delay, 0.05 * stage_delays_[static_cast<std::size_t>(next)]);
-    pending_stage_ = next;
-    pending_time_ += delay;
+    delay = std::max(delay, 0.05 * sd[next]);
+    ps = next;
+    pt += delay;
   }
+  if (supply_) *supply_ = supply_local;
+  flicker_state_ = fs;
+  pending_time_ = pt;
+  pending_stage_ = ps;
+  transitions_ = trans;
+  rng_ = rng;
   now_ = t;
   prune_history();
 }
 
 void RingOscillator::prune_history() {
+  // Lazy: retaining extra history is observably identical (every query
+  // depends only on toggles at or after its time plus the count of later
+  // toggles), so trimming is deferred until a queue is long enough for the
+  // walk to be worth its cost. Restart-mode operation clears the queues at
+  // every reset and typically never prunes.
+  constexpr std::size_t kPruneThreshold = 64;
+  bool any_long = false;
+  for (const auto& q : toggles_) any_long = any_long || q.size() > kPruneThreshold;
+  if (!any_long) return;
   const Picoseconds cutoff = now_ - history_window_;
   for (auto& q : toggles_) {
     // Keep one toggle before the window so value_at can resolve the level
@@ -109,7 +143,7 @@ bool RingOscillator::value_at(int stage, Picoseconds t) const {
   // Current value was flipped by all retained toggles; undo those after t.
   const auto it = std::upper_bound(q.begin(), q.end(), t);
   const auto after_t = static_cast<std::size_t>(q.end() - it);
-  bool v = value_[static_cast<std::size_t>(stage)];
+  bool v = value_[static_cast<std::size_t>(stage)] != 0;
   if (after_t % 2 == 1) v = !v;
   return v;
 }

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <stdexcept>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -61,6 +62,26 @@ class RingOscillator {
   std::vector<Picoseconds> edges_in(int stage, Picoseconds t0,
                                     Picoseconds t1) const;
 
+  /// Direct read access to `stage`'s retained toggle times (ascending).
+  /// Batched TDC captures flatten this once instead of binary-searching
+  /// per flip-flop through value_at/edges_in. Inline (with the bounds
+  /// check compiled into the caller): queried once per TDC line capture.
+  const std::deque<Picoseconds>& toggle_history(int stage) const {
+    if (stage < 0 || stage >= stages()) {
+      throw std::out_of_range("RingOscillator::toggle_history: bad stage");
+    }
+    return toggles_[static_cast<std::size_t>(stage)];
+  }
+
+  /// Output value of `stage` at now() (after all retained toggles).
+  /// Inline for the same reason as toggle_history.
+  bool current_value(int stage) const {
+    if (stage < 0 || stage >= stages()) {
+      throw std::out_of_range("RingOscillator::current_value: bad stage");
+    }
+    return value_[static_cast<std::size_t>(stage)] != 0;
+  }
+
   /// Total transitions simulated since construction (all stages).
   std::uint64_t transition_count() const { return transitions_; }
 
@@ -72,6 +93,9 @@ class RingOscillator {
 
   std::vector<Picoseconds> stage_delays_;
   Picoseconds white_sigma_;
+  /// sqrt(1 - corr^2) * flicker_sigma — the AR(1) innovation gain, hoisted
+  /// out of the per-transition loop (bit-identical to recomputing it).
+  double flicker_coeff_ = 0.0;
   NoiseConfig noise_;
   SupplyNoise* supply_;  // not owned; may be null
   common::Xoshiro256StarStar rng_;
@@ -79,7 +103,9 @@ class RingOscillator {
 
   // Dynamic state.
   std::vector<std::deque<Picoseconds>> toggles_;  // per-stage toggle times
-  std::vector<bool> value_;                       // current output values
+  // Current output values; byte-backed (not vector<bool>) so the
+  // per-transition flip is a plain load/xor/store.
+  std::vector<unsigned char> value_;
   int pending_stage_ = 0;          // stage whose output toggles next
   Picoseconds pending_time_ = 0.0; // when it toggles
   bool running_ = false;

@@ -1,5 +1,6 @@
 #include "sim/sampler.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace trng::sim {
@@ -22,18 +23,22 @@ SampleController::SampleController(const fpga::ElaboratedTrng& elaborated,
       oscillator_(stage_delays_of(elaborated), elaborated.stage_white_sigma_ps,
                   noise, &supply_, seed ^ 0x05C111A70ULL),
       mode_(mode),
-      clock_period_(clock_period_ps) {
+      schedule_(clock_period_ps) {
   if (elaborated.lines.size() != elaborated.ro_stage_delay.size()) {
     throw std::invalid_argument(
         "SampleController: need one delay line per RO stage");
-  }
-  if (!(clock_period_ps > 0.0)) {
-    throw std::invalid_argument("SampleController: bad clock period");
   }
   lines_.reserve(elaborated.lines.size());
   std::uint64_t line_seed = seed ^ 0x11E5ULL;
   for (const auto& lt : elaborated.lines) {
     lines_.emplace_back(lt, ff_spec, line_seed++);
+  }
+  // PackedCapture assumes a rectangular capture (same m for every line).
+  for (const auto& line : lines_) {
+    if (line.taps() != lines_.front().taps()) {
+      throw std::invalid_argument(
+          "SampleController: all delay lines must have the same tap count");
+    }
   }
 }
 
@@ -42,14 +47,13 @@ CaptureResult SampleController::next_capture(Cycles accumulation_cycles) {
     throw std::invalid_argument(
         "SampleController::next_capture: accumulation_cycles must be >= 1");
   }
-  const Picoseconds t_acc =
-      static_cast<double>(accumulation_cycles) * clock_period_;
-
   if (mode_ == SamplingMode::kRestart || !started_) {
-    oscillator_.reset(cursor_);
+    oscillator_.reset(schedule_.cursor_ps());
     started_ = true;
   }
-  const Picoseconds t_sample = cursor_ + t_acc;
+  // begin_conversion returns the sample instant and advances the cursor to
+  // the following clock edge (where the next conversion starts).
+  const Picoseconds t_sample = schedule_.begin_conversion(accumulation_cycles);
 
   // Simulate past the sample instant far enough to cover the largest
   // positive clock skew plus the metastability aperture.
@@ -62,16 +66,98 @@ CaptureResult SampleController::next_capture(Cycles accumulation_cycles) {
     result.lines.push_back(
         lines_[i].capture(oscillator_, static_cast<int>(i), t_sample));
   }
-
-  // The next conversion starts at the following clock edge.
-  cursor_ = t_sample + clock_period_;
   return result;
+}
+
+void SampleController::next_capture_into(Cycles accumulation_cycles,
+                                         PackedCapture& out) {
+  if (accumulation_cycles == 0) {
+    throw std::invalid_argument(
+        "SampleController::next_capture_into: accumulation_cycles must be >= 1");
+  }
+  if (mode_ == SamplingMode::kRestart || !started_) {
+    oscillator_.reset(schedule_.cursor_ps());
+    started_ = true;
+  }
+  const Picoseconds t_sample = schedule_.begin_conversion(accumulation_cycles);
+  oscillator_.advance_to(t_sample + 500.0);
+
+  const int taps = lines_.empty() ? 0 : lines_.front().taps();
+  const int wpl = (taps + 63) / 64;
+  // Shape the capture only when it changes (i.e. on first use): capture_into
+  // overwrites every word of every line, so steady-state batched generation
+  // neither allocates nor zero-fills per capture.
+  if (out.taps != taps || out.lines != static_cast<int>(lines_.size()) ||
+      out.words_per_line != wpl) {
+    out.taps = taps;
+    out.lines = static_cast<int>(lines_.size());
+    out.words_per_line = wpl;
+    out.words.resize(static_cast<std::size_t>(out.lines) *
+                     static_cast<std::size_t>(wpl));
+  }
+  out.sample_time_ps = t_sample;
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    lines_[i].capture_into(oscillator_, static_cast<int>(i), t_sample,
+                           out.line(static_cast<int>(i)));
+  }
 }
 
 std::uint64_t SampleController::metastable_events() const {
   std::uint64_t total = 0;
   for (const auto& line : lines_) total += line.metastable_events();
   return total;
+}
+
+SnapshotClass classify_packed(const PackedCapture& capture) {
+  // Single fused pass per line: count_edges_packed and has_bubble_packed
+  // share their shifted-neighbour words, and this runs once per generated
+  // bit, so fusing them here spares two helper calls per line. The masks
+  // and results are identical to the helpers'.
+  int total_edges = 0;
+  bool bubble = false;
+  const int taps = capture.taps;
+  if (taps > 1) {
+    const std::size_t nwords = (static_cast<std::size_t>(taps) + 63) / 64;
+    const std::size_t pairs = static_cast<std::size_t>(taps) - 1;
+    const bool has_interior = taps >= 3;
+    const std::size_t last =
+        has_interior ? static_cast<std::size_t>(taps) - 2 : 0;
+    for (int i = 0; i < capture.lines; ++i) {
+      const std::uint64_t* words = capture.line(i);
+      for (std::size_t w = 0; w < nwords; ++w) {
+        const std::uint64_t v = words[w];
+        const std::uint64_t prev63 = (w > 0) ? (words[w - 1] >> 63) : 0ULL;
+        const std::uint64_t next0 =
+            (w + 1 < nwords) ? (words[w + 1] & 1ULL) : 0ULL;
+        const std::uint64_t right = (v >> 1) | (next0 << 63);
+        // Bit b marks a transition between taps 64w+b and 64w+b+1.
+        std::uint64_t x = v ^ right;
+        const std::size_t base = w * 64;
+        if (pairs < base + 64) {
+          const std::size_t valid = pairs > base ? pairs - base : 0;
+          x &= valid == 0 ? 0ULL : (~0ULL >> (64 - valid));
+        }
+        total_edges += std::popcount(x);
+        if (has_interior && !bubble) {
+          const std::uint64_t left = (v << 1) | prev63;
+          const std::uint64_t b = (v ^ left) & (v ^ right);
+          // Restrict to interior taps 1 .. taps-2.
+          std::uint64_t mask = ~0ULL;
+          if (base == 0) mask &= ~1ULL;
+          if (last < base) {
+            mask = 0;
+          } else if (last - base < 63) {
+            mask &= ~0ULL >> (63 - (last - base));
+          }
+          bubble = (b & mask) != 0;
+        }
+      }
+    }
+  }
+  if (bubble) return SnapshotClass::kBubbles;
+  if (total_edges == 0) return SnapshotClass::kNoEdge;
+  if (total_edges == 1) return SnapshotClass::kRegular;
+  return SnapshotClass::kDoubleEdge;
 }
 
 }  // namespace trng::sim

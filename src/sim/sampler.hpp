@@ -17,6 +17,7 @@
 
 #include "common/types.hpp"
 #include "fpga/fabric.hpp"
+#include "sim/accumulation.hpp"
 #include "sim/delay_line.hpp"
 #include "sim/noise.hpp"
 #include "sim/ring_oscillator.hpp"
@@ -27,6 +28,28 @@ namespace trng::sim {
 struct [[nodiscard]] CaptureResult {
   std::vector<LineSnapshot> lines;
   Picoseconds sample_time_ps = 0.0;
+};
+
+/// One full conversion in packed form: each line's snapshot occupies
+/// `words_per_line` consecutive 64-bit words (tap j of line i at
+/// words[i * words_per_line + (j >> 6)] bit (j & 63); tail bits zero).
+/// The flat buffer is reused across conversions by next_capture_into, so
+/// batched generation performs no per-capture allocation in steady state.
+struct [[nodiscard]] PackedCapture {
+  std::vector<std::uint64_t> words;
+  int words_per_line = 0;
+  int taps = 0;   ///< taps per line (m)
+  int lines = 0;  ///< number of delay lines (n)
+  Picoseconds sample_time_ps = 0.0;
+
+  std::uint64_t* line(int i) {
+    return words.data() +
+           static_cast<std::size_t>(i) * static_cast<std::size_t>(words_per_line);
+  }
+  const std::uint64_t* line(int i) const {
+    return words.data() +
+           static_cast<std::size_t>(i) * static_cast<std::size_t>(words_per_line);
+  }
 };
 
 enum class SamplingMode { kRestart, kFreeRunning };
@@ -46,8 +69,17 @@ class SampleController {
   /// snapshots. Throws std::invalid_argument if accumulation_cycles == 0.
   CaptureResult next_capture(Cycles accumulation_cycles);
 
+  /// Batched form of next_capture(): fills `out` (reusing its buffer) via
+  /// TappedDelayLineSim::capture_into. Same simulation, same RNG draw
+  /// order — for the same controller state it produces bit-identical
+  /// snapshots to next_capture(); the scalar path is the reference.
+  void next_capture_into(Cycles accumulation_cycles, PackedCapture& out);
+
   const RingOscillator& oscillator() const { return oscillator_; }
   SamplingMode mode() const { return mode_; }
+
+  /// The enable -> accumulate -> capture clock accounting.
+  const AccumulationSchedule& schedule() const { return schedule_; }
 
   /// Sum of metastable captures across all lines (diagnostics).
   std::uint64_t metastable_events() const;
@@ -58,9 +90,11 @@ class SampleController {
   RingOscillator oscillator_;
   std::vector<TappedDelayLineSim> lines_;
   SamplingMode mode_;
-  Picoseconds clock_period_;
-  Picoseconds cursor_ = 0.0;  ///< current absolute time (cycle-aligned)
+  AccumulationSchedule schedule_;
   bool started_ = false;
 };
+
+/// classify_snapshots on a packed capture (word-level edge/bubble scans).
+SnapshotClass classify_packed(const PackedCapture& capture);
 
 }  // namespace trng::sim

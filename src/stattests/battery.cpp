@@ -57,6 +57,11 @@ BatteryReport TestBattery::run(const common::BitStream& bits) const {
   return report;
 }
 
+BatteryReport TestBattery::run(core::BitSource& source,
+                               std::size_t nbits) const {
+  return run(source.generate(nbits));
+}
+
 std::optional<unsigned> TestBattery::min_passing_np(const RawSource& source,
                                                     std::size_t test_bits,
                                                     unsigned max_np) const {
@@ -65,6 +70,20 @@ std::optional<unsigned> TestBattery::min_passing_np(const RawSource& source,
   }
   for (unsigned np = 1; np <= max_np; ++np) {
     const common::BitStream raw = source(test_bits * np);
+    const BatteryReport report = run(raw.xor_fold(np));
+    if (report.all_passed(options_.alpha)) return np;
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> TestBattery::min_passing_np(core::BitSource& source,
+                                                    std::size_t test_bits,
+                                                    unsigned max_np) const {
+  if (test_bits < 20000 || max_np == 0) {
+    throw std::invalid_argument("min_passing_np: bad arguments");
+  }
+  for (unsigned np = 1; np <= max_np; ++np) {
+    const common::BitStream raw = source.generate(test_bits * np);
     const BatteryReport report = run(raw.xor_fold(np));
     if (report.all_passed(options_.alpha)) return np;
   }

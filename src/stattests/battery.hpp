@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/bitstream.hpp"
+#include "core/bit_source.hpp"
 #include "stattests/test_result.hpp"
 
 namespace trng::stat {
@@ -36,8 +37,13 @@ class TestBattery {
   /// meet are reported with applicable = false.
   BatteryReport run(const common::BitStream& bits) const;
 
+  /// Draws `nbits` bits from `source` via the batched BitSource contract
+  /// and runs every test on them.
+  BatteryReport run(core::BitSource& source, std::size_t nbits) const;
+
   /// Streaming source of raw bits: invoked with a bit count, returns that
-  /// many fresh raw bits from the generator under test.
+  /// many fresh raw bits from the generator under test. Legacy adapter —
+  /// new code should pass a core::BitSource directly.
   using RawSource = std::function<common::BitStream(std::size_t)>;
 
   /// The paper's n_NIST: smallest np in [1, max_np] such that the XOR-
@@ -45,6 +51,12 @@ class TestBattery {
   /// consumes test_bits * np fresh raw bits. Returns nullopt when even
   /// max_np fails (Table 1 reports this as "> max_np").
   std::optional<unsigned> min_passing_np(const RawSource& source,
+                                         std::size_t test_bits,
+                                         unsigned max_np = 16) const;
+
+  /// BitSource form of the n_NIST search: raw bits are drawn batched from
+  /// `source` (which must produce RAW, pre-compression bits).
+  std::optional<unsigned> min_passing_np(core::BitSource& source,
                                          std::size_t test_bits,
                                          unsigned max_np = 16) const;
 

@@ -1,0 +1,16 @@
+// Fixture: src/common/bitstream.cpp is the container's own implementation
+// and is exempt from TL006 — push_back here must not be reported.
+#include "common/bitstream.hpp"
+
+namespace trng::common {
+
+BitStream double_up(const BitStream& in) {
+  BitStream out;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out.push_back(in[i]);
+    out.push_back(in[i]);
+  }
+  return out;
+}
+
+}  // namespace trng::common

@@ -1,0 +1,233 @@
+// The BitSource layer's central contract: for every generator family the
+// batched generate_into() stream is bit-identical to the scalar next_bit()
+// stream from the same initial state, across word boundaries, odd chunk
+// sizes and repeated calls. The scalar path is the reference
+// implementation; these tests are what lets the batched path be
+// aggressively optimized.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/baselines/str_trng.hpp"
+#include "core/baselines/sunar_trng.hpp"
+#include "core/baselines/tero_trng.hpp"
+#include "core/bit_source.hpp"
+#include "core/elementary.hpp"
+#include "core/postprocess.hpp"
+#include "core/source_registry.hpp"
+#include "core/trng.hpp"
+#include "fpga/fabric.hpp"
+#include "stattests/battery.hpp"
+
+namespace trng::core {
+namespace {
+
+using baselines::SelfTimedRingTrng;
+using baselines::SunarSchellekensTrng;
+using baselines::TeroTrng;
+
+fpga::Fabric default_fabric(std::uint64_t die = 42) {
+  return fpga::Fabric(fpga::DeviceGeometry{}, die);
+}
+
+std::vector<bool> scalar_bits(BitSource& source, std::size_t n) {
+  std::vector<bool> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(source.next_bit());
+  return out;
+}
+
+// Draws the same total bit count from `batched` as `scalar_ref` holds, in
+// uneven chunks that start and end off word boundaries, and asserts bit
+// equality. Also asserts the tail bits of every final word are zeroed even
+// when the buffer starts out all-ones.
+void expect_batched_equals(BitSource& batched,
+                           const std::vector<bool>& scalar_ref) {
+  const std::vector<std::size_t> chunks = {1, 3, 64, 65, 127, 1000000};
+  std::size_t done = 0;
+  for (std::size_t chunk : chunks) {
+    if (done == scalar_ref.size()) break;
+    const std::size_t n = std::min(chunk, scalar_ref.size() - done);
+    std::vector<std::uint64_t> words((n + 63) / 64, ~std::uint64_t{0});
+    batched.generate_into(words.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool bit = (words[i >> 6] >> (i & 63)) & 1ULL;
+      ASSERT_EQ(bit, scalar_ref[done + i])
+          << "bit " << done + i << " of " << scalar_ref.size()
+          << " (chunk of " << n << ")";
+    }
+    for (std::size_t i = n; i < words.size() * 64; ++i) {
+      ASSERT_EQ((words[i >> 6] >> (i & 63)) & 1ULL, 0u)
+          << "tail bit " << i << " not zeroed";
+    }
+    done += n;
+  }
+  ASSERT_EQ(done, scalar_ref.size());
+}
+
+TEST(BitSourceEquivalence, CarryChainRestartMode) {
+  const auto fabric = default_fabric();
+  CarryChainTrng scalar(fabric, DesignParams{}, 7);
+  CarryChainTrng batched(fabric, DesignParams{}, 7);
+  expect_batched_equals(batched, scalar_bits(scalar, 600));
+
+  // The fused packed pipeline must also account phenomenology identically.
+  EXPECT_EQ(scalar.diagnostics().captures, batched.diagnostics().captures);
+  EXPECT_EQ(scalar.diagnostics().double_edges,
+            batched.diagnostics().double_edges);
+  EXPECT_EQ(scalar.diagnostics().bubbles, batched.diagnostics().bubbles);
+  EXPECT_EQ(scalar.diagnostics().missed_edges,
+            batched.diagnostics().missed_edges);
+  EXPECT_EQ(scalar.metastable_events(), batched.metastable_events());
+}
+
+TEST(BitSourceEquivalence, CarryChainFreeRunningMode) {
+  const auto fabric = default_fabric();
+  DesignParams p;
+  p.mode = sim::SamplingMode::kFreeRunning;
+  CarryChainTrng scalar(fabric, p, 7);
+  CarryChainTrng batched(fabric, p, 7);
+  expect_batched_equals(batched, scalar_bits(scalar, 600));
+  EXPECT_EQ(scalar.diagnostics().captures, batched.diagnostics().captures);
+  EXPECT_EQ(scalar.diagnostics().double_edges,
+            batched.diagnostics().double_edges);
+  EXPECT_EQ(scalar.diagnostics().bubbles, batched.diagnostics().bubbles);
+  EXPECT_EQ(scalar.diagnostics().missed_edges,
+            batched.diagnostics().missed_edges);
+}
+
+TEST(BitSourceEquivalence, CarryChainDownSampled) {
+  const auto fabric = default_fabric();
+  DesignParams p;
+  p.k = 4;
+  p.accumulation_cycles = 20;
+  CarryChainTrng scalar(fabric, p, 7);
+  CarryChainTrng batched(fabric, p, 7);
+  expect_batched_equals(batched, scalar_bits(scalar, 200));
+}
+
+TEST(BitSourceEquivalence, ElementaryAnalytic) {
+  ElementaryTrng scalar(480.0, 2.0, 800, 5, ElementaryTrng::Mode::kAnalytic);
+  ElementaryTrng batched(480.0, 2.0, 800, 5, ElementaryTrng::Mode::kAnalytic);
+  expect_batched_equals(batched, scalar_bits(scalar, 600));
+}
+
+TEST(BitSourceEquivalence, ElementaryEventDriven) {
+  ElementaryTrng scalar(480.0, 2.0, 40, 5, ElementaryTrng::Mode::kEventDriven);
+  ElementaryTrng batched(480.0, 2.0, 40, 5,
+                         ElementaryTrng::Mode::kEventDriven);
+  expect_batched_equals(batched, scalar_bits(scalar, 150));
+}
+
+TEST(BitSourceEquivalence, Baselines) {
+  const auto make_pair = [](int which, std::uint64_t seed)
+      -> std::pair<std::unique_ptr<BitSource>, std::unique_ptr<BitSource>> {
+    switch (which) {
+      case 0:
+        return {std::make_unique<SunarSchellekensTrng>(seed),
+                std::make_unique<SunarSchellekensTrng>(seed)};
+      case 1:
+        return {std::make_unique<SelfTimedRingTrng>(seed),
+                std::make_unique<SelfTimedRingTrng>(seed)};
+      default:
+        return {std::make_unique<TeroTrng>(seed),
+                std::make_unique<TeroTrng>(seed)};
+    }
+  };
+  for (int which = 0; which < 3; ++which) {
+    auto [scalar, batched] = make_pair(which, 11);
+    SCOPED_TRACE(scalar->info().name);
+    expect_batched_equals(*batched, scalar_bits(*scalar, 600));
+  }
+}
+
+TEST(BitSource, GenerateMatchesGenerateInto) {
+  const auto fabric = default_fabric();
+  CarryChainTrng a(fabric, DesignParams{}, 3);
+  CarryChainTrng b(fabric, DesignParams{}, 3);
+  const common::BitStream via_stream = a.generate_raw(130);
+  std::uint64_t words[3] = {};
+  b.generate_into(words, 130);
+  ASSERT_EQ(via_stream.size(), 130u);
+  for (std::size_t i = 0; i < 130; ++i) {
+    ASSERT_EQ(via_stream[i],
+              static_cast<bool>((words[i >> 6] >> (i & 63)) & 1ULL));
+  }
+}
+
+TEST(XorCompressedSource, MatchesManualFold) {
+  const auto fabric = default_fabric();
+  CarryChainTrng raw(fabric, DesignParams{}, 9);
+  CarryChainTrng wrapped_inner(fabric, DesignParams{}, 9);
+  XorCompressedSource wrapped(wrapped_inner, 7);
+  const common::BitStream expected = raw.generate_raw(70 * 7).xor_fold(7);
+  const common::BitStream got = wrapped.generate(70);
+  ASSERT_EQ(got.size(), expected.size());
+  EXPECT_TRUE(got == expected);
+}
+
+TEST(XorCompressedSource, ScalarFacetDrawsBatched) {
+  ElementaryTrng inner_a(480.0, 2.0, 800, 21);
+  ElementaryTrng inner_b(480.0, 2.0, 800, 21);
+  XorCompressedSource a(inner_a, 3);
+  XorCompressedSource b(inner_b, 3);
+  expect_batched_equals(b, scalar_bits(a, 150));
+}
+
+TEST(XorCompressedSource, InfoReflectsCompression) {
+  ElementaryTrng inner(480.0, 2.0, 800, 1);
+  const SourceInfo raw_info = inner.info();
+  XorCompressedSource wrapped(inner, 7);
+  const SourceInfo info = wrapped.info();
+  EXPECT_NE(info.name.find("XOR np=7"), std::string::npos);
+  EXPECT_DOUBLE_EQ(info.throughput_bps, raw_info.throughput_bps / 7.0);
+}
+
+TEST(SourceRegistry, CanonicalLineUp) {
+  const auto fabric = default_fabric();
+  const auto factories = canonical_sources(fabric);
+  std::set<std::string> ids;
+  for (const auto& f : factories) ids.insert(f.id);
+  ASSERT_EQ(ids.size(), factories.size()) << "duplicate registry ids";
+  for (const char* expected :
+       {"carry-k1", "carry-k4", "elementary", "sunar", "str-cyclone",
+        "str-virtex", "tero"}) {
+    EXPECT_EQ(ids.count(expected), 1u) << "missing id " << expected;
+  }
+  for (const auto& f : factories) {
+    SCOPED_TRACE(f.id);
+    auto source = f.make(1);
+    ASSERT_NE(source, nullptr);
+    const SourceInfo info = source->info();
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_GT(info.throughput_bps, 0.0);
+    EXPECT_EQ(source->generate(70).size(), 70u);
+  }
+}
+
+TEST(SourceRegistry, FactoriesAreSeedDeterministic) {
+  const auto fabric = default_fabric();
+  for (const auto& f : canonical_sources(fabric)) {
+    SCOPED_TRACE(f.id);
+    auto a = f.make(123);
+    auto b = f.make(123);
+    EXPECT_TRUE(a->generate(128) == b->generate(128));
+  }
+}
+
+TEST(Battery, BitSourceOverloadMatchesStreamRun) {
+  const auto fabric = default_fabric();
+  CarryChainTrng via_source(fabric, DesignParams{}, 5);
+  CarryChainTrng via_stream(fabric, DesignParams{}, 5);
+  stat::TestBattery battery;
+  const auto a = battery.run(static_cast<BitSource&>(via_source), 20000);
+  const auto b = battery.run(via_stream.generate_raw(20000));
+  EXPECT_EQ(a.applicable_count(), b.applicable_count());
+  EXPECT_EQ(a.failed_count(), b.failed_count());
+}
+
+}  // namespace
+}  // namespace trng::core

@@ -134,6 +134,52 @@ TEST(BitStream, EqualityAndClear) {
   EXPECT_TRUE(a == BitStream{});
 }
 
+TEST(BitStream, AppendWordsUnalignedSplicesAcrossTail) {
+  // Start off-alignment, then append word-packed batches of awkward sizes
+  // (the generate_into -> append_words path): the result must equal the
+  // bit-by-bit reference, for every starting shift class.
+  Xoshiro256StarStar rng(99);
+  for (unsigned prefix : {1u, 7u, 63u, 64u, 65u}) {
+    BitStream packed;
+    BitStream reference;
+    for (unsigned i = 0; i < prefix; ++i) {
+      const bool b = (rng.next() & 1) != 0;
+      packed.push_back(b);
+      reference.push_back(b);
+    }
+    for (std::size_t nbits : {1u, 63u, 64u, 65u, 130u}) {
+      std::vector<std::uint64_t> words((nbits + 63) / 64);
+      for (auto& w : words) w = rng.next();
+      packed.append_words(words.data(), nbits);
+      for (std::size_t i = 0; i < nbits; ++i) {
+        reference.push_back(((words[i >> 6] >> (i & 63)) & 1ULL) != 0);
+      }
+    }
+    ASSERT_EQ(packed.size(), reference.size());
+    EXPECT_TRUE(packed == reference) << "prefix " << prefix;
+  }
+}
+
+TEST(BitStream, AppendWordsIgnoresGarbageAboveNbits) {
+  // The tail-bits-are-zero invariant must hold even when the caller's
+  // buffer carries garbage past nbits (xor_fold and ones_fraction scan
+  // whole words and rely on it).
+  BitStream bs;
+  const std::uint64_t all_ones = ~std::uint64_t{0};
+  bs.append_words(&all_ones, 3);
+  EXPECT_EQ(bs.to_string(), "111");
+  EXPECT_DOUBLE_EQ(bs.ones_fraction(), 1.0);
+  BitStream expected = BitStream::from_string("111");
+  EXPECT_TRUE(bs == expected);
+
+  // Same off-alignment: garbage in the spliced high part must not leak.
+  std::uint64_t words[2] = {all_ones, all_ones};
+  bs.append_words(words, 70);
+  EXPECT_EQ(bs.size(), 73u);
+  EXPECT_DOUBLE_EQ(bs.ones_fraction(), 1.0);
+  EXPECT_TRUE(bs == BitStream::from_string(std::string(73, '1')));
+}
+
 TEST(BitStream, FromWords) {
   const BitStream bs = BitStream::from_words({0b101, 0b011}, 3);
   EXPECT_EQ(bs.to_string(), "101110");  // LSB-first per word

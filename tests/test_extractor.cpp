@@ -146,5 +146,73 @@ TEST_P(ParitySweep, NeighbouringPositionsAlternate) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ParitySweep, ::testing::Values(1, 2, 4, 8));
 
+sim::PackedCapture pack(const std::vector<sim::LineSnapshot>& lines) {
+  sim::PackedCapture pc;
+  pc.lines = static_cast<int>(lines.size());
+  pc.taps = static_cast<int>(lines.front().size());
+  pc.words_per_line = (pc.taps + 63) / 64;
+  pc.words.assign(
+      static_cast<std::size_t>(pc.lines) *
+          static_cast<std::size_t>(pc.words_per_line),
+      0);
+  for (int i = 0; i < pc.lines; ++i) {
+    std::uint64_t* words = pc.line(i);
+    const auto& line = lines[static_cast<std::size_t>(i)];
+    for (int j = 0; j < pc.taps; ++j) {
+      words[j >> 6] |= static_cast<std::uint64_t>(
+                           line[static_cast<std::size_t>(j)] ? 1 : 0)
+                       << (j & 63);
+    }
+  }
+  return pc;
+}
+
+TEST(EntropyExtractor, PackedExtractMatchesScalar) {
+  EntropyExtractor ex(8);
+  const std::vector<std::vector<sim::LineSnapshot>> cases = {
+      {snap("11100000")},                    // single edge
+      {snap("11011000")},                    // double edge
+      {snap("11101111")},                    // bubble behind the edge
+      {snap("11111111")},                    // no edge
+      {snap("11110000"), snap("11111100")},  // multi-line fold
+  };
+  for (const auto& lines : cases) {
+    const ExtractionResult a = ex.extract(lines);
+    const ExtractionResult b = ex.extract_packed(pack(lines));
+    EXPECT_EQ(a.edge_found, b.edge_found);
+    EXPECT_EQ(a.edge_position, b.edge_position);
+    EXPECT_EQ(a.bit, b.bit);
+  }
+}
+
+TEST(EntropyExtractor, PackedExtractCrossesWordBoundary) {
+  // m > 64 exercises the multi-word priority encode: the first edge can
+  // sit in the second word or exactly on the 63/64 seam.
+  const int m = 100;
+  EntropyExtractor ex(m);
+  for (int pos : {0, 62, 63, 64, 70, 98}) {
+    std::string s(static_cast<std::size_t>(m), '0');
+    for (int j = 0; j <= pos; ++j) s[static_cast<std::size_t>(j)] = '1';
+    const auto lines = std::vector<sim::LineSnapshot>{snap(s)};
+    const ExtractionResult a = ex.extract(lines);
+    const ExtractionResult b = ex.extract_packed(pack(lines));
+    ASSERT_TRUE(b.edge_found);
+    EXPECT_EQ(b.edge_position, pos);
+    EXPECT_EQ(a.bit, b.bit);
+  }
+  // And the no-edge miss on a wide line.
+  const auto constant =
+      std::vector<sim::LineSnapshot>{snap(std::string(100, '1'))};
+  EXPECT_FALSE(ex.extract_packed(pack(constant)).edge_found);
+}
+
+TEST(EntropyExtractor, PackedExtractRejectsShapeMismatch) {
+  EntropyExtractor ex(8);
+  EXPECT_THROW((void)ex.extract_packed(sim::PackedCapture{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)ex.extract_packed(pack({snap("1100")})),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace trng::core

@@ -113,6 +113,54 @@ TEST(OnlineHealthMonitor, CatchesDeadOscillator) {
   EXPECT_GT(m.total_failure().alarms() + m.repetition().alarms(), 0u);
 }
 
+TEST(OnlineHealthMonitor, FeedBlockMatchesScalarFeed) {
+  // feed_block is the batched facet used by the BitSource datapath: for
+  // the same bit sequence it must leave the monitor in the same state and
+  // report the same alarm totals as per-bit feed(bit, true) — across
+  // unbiased, biased and adversarial (constant) words, and regardless of
+  // the block sizes the sequence is split into.
+  OnlineHealthMonitor scalar(0.95);
+  OnlineHealthMonitor batched(0.95);
+  common::Xoshiro256StarStar rng(31);
+  const std::vector<std::size_t> blocks = {1, 3, 64, 65, 127, 1024, 40000};
+  std::uint64_t scalar_alarms = 0;
+  std::uint64_t batched_alarms = 0;
+  for (std::size_t phase = 0; phase < 3; ++phase) {
+    for (std::size_t nbits : blocks) {
+      std::vector<std::uint64_t> words((nbits + 63) / 64, 0);
+      for (std::size_t i = 0; i < nbits; ++i) {
+        bool bit;
+        if (phase == 0) bit = (rng.next() & 1) != 0;        // fair
+        else if (phase == 1) bit = rng.next_double() < 0.8;  // biased
+        else bit = true;                                     // stuck
+        words[i >> 6] |=
+            static_cast<std::uint64_t>(bit ? 1 : 0) << (i & 63);
+        if (scalar.feed(bit, true)) ++scalar_alarms;
+      }
+      batched_alarms += batched.feed_block(words.data(), nbits);
+    }
+  }
+  EXPECT_EQ(batched_alarms, scalar_alarms);
+  EXPECT_EQ(batched.total_alarms(), scalar.total_alarms());
+  EXPECT_EQ(batched.repetition().alarms(), scalar.repetition().alarms());
+  EXPECT_EQ(batched.proportion().alarms(), scalar.proportion().alarms());
+  EXPECT_GT(batched_alarms, 0u);  // the stuck phase must trip something
+}
+
+TEST(OnlineHealthMonitor, FeedBlockBitStreamOverload) {
+  OnlineHealthMonitor a(0.95);
+  OnlineHealthMonitor b(0.95);
+  common::Xoshiro256StarStar rng(77);
+  common::BitStream bits;
+  for (int i = 0; i < 5000; ++i) bits.push_back((rng.next() & 1) != 0);
+  std::uint64_t scalar_alarms = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (a.feed(bits[i], true)) ++scalar_alarms;
+  }
+  EXPECT_EQ(b.feed_block(bits), scalar_alarms);
+  EXPECT_EQ(b.total_alarms(), a.total_alarms());
+}
+
 TEST(OnlineHealthMonitor, CatchesBiasCollapse) {
   OnlineHealthMonitor m(0.95);
   common::Xoshiro256StarStar rng(6);

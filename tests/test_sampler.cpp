@@ -96,5 +96,41 @@ TEST(SampleController, RejectsMismatchedElaboration) {
       std::invalid_argument);
 }
 
+TEST(SampleController, PackedCaptureMatchesScalarCapture) {
+  // next_capture_into is the batched reference path used by the TRNG's
+  // generate_into: for identically-seeded controllers it must reproduce
+  // next_capture bit for bit, with identical sample times, and
+  // classify_packed must agree with classify_snapshots on every capture —
+  // in both sampling modes (free-running sweeps all Figure-4 classes).
+  const auto e = make_elaborated();
+  for (auto mode : {SamplingMode::kRestart, SamplingMode::kFreeRunning}) {
+    SCOPED_TRACE(mode == SamplingMode::kRestart ? "restart" : "free-running");
+    SampleController scalar(e, fpga::FlipFlopTimingSpec{}, NoiseConfig{}, 7,
+                            mode);
+    SampleController batched(e, fpga::FlipFlopTimingSpec{}, NoiseConfig{}, 7,
+                             mode);
+    PackedCapture pc;
+    for (int iter = 0; iter < 60; ++iter) {
+      const CaptureResult cap = scalar.next_capture(2);
+      batched.next_capture_into(2, pc);
+      ASSERT_DOUBLE_EQ(pc.sample_time_ps, cap.sample_time_ps);
+      ASSERT_EQ(pc.lines, static_cast<int>(cap.lines.size()));
+      ASSERT_EQ(pc.taps, static_cast<int>(cap.lines.front().size()));
+      for (int i = 0; i < pc.lines; ++i) {
+        const std::uint64_t* words = pc.line(i);
+        for (int j = 0; j < pc.taps; ++j) {
+          ASSERT_EQ(static_cast<bool>((words[j >> 6] >> (j & 63)) & 1ULL),
+                    cap.lines[static_cast<std::size_t>(i)]
+                             [static_cast<std::size_t>(j)])
+              << "capture " << iter << " line " << i << " tap " << j;
+        }
+      }
+      ASSERT_EQ(classify_packed(pc), classify_snapshots(cap.lines))
+          << "capture " << iter;
+    }
+    EXPECT_EQ(scalar.metastable_events(), batched.metastable_events());
+  }
+}
+
 }  // namespace
 }  // namespace trng::sim

@@ -128,6 +128,35 @@ TEST(CarryChainTrng, FreeRunningShowsDoubleEdgesAndBubbles) {
   EXPECT_GT(trng.metastable_events(), 0u);
 }
 
+TEST(CarryChainTrng, MissedEdgesCountedWhenWindowTooShort) {
+  // Section 5.2's failure mode: with too few taps the edge regularly falls
+  // outside the TDC window. In restart mode the deterministic phase puts
+  // it outside on every capture; free-running sampling drifts the phase
+  // through the window, so only part of the captures miss.
+  const auto fabric = default_fabric();
+  DesignParams p;
+  p.m = 8;
+  CarryChainTrng restarted(fabric, p, 7);
+  (void)restarted.generate_raw(2000);
+  EXPECT_EQ(restarted.diagnostics().missed_edges, 2000u);
+
+  p.mode = sim::SamplingMode::kFreeRunning;
+  CarryChainTrng free_running(fabric, p, 7);
+  (void)free_running.generate_raw(2000);
+  EXPECT_GT(free_running.diagnostics().missed_edges, 0u);
+  EXPECT_LT(free_running.diagnostics().missed_edges, 2000u);
+
+  // The batched path (generate_raw) and the scalar reference must account
+  // missed edges identically.
+  CarryChainTrng scalar(fabric, p, 7);
+  std::uint64_t missed_scalar = 0;
+  for (int i = 0; i < 2000; ++i) {
+    (void)scalar.next_raw_bit();
+  }
+  missed_scalar = scalar.diagnostics().missed_edges;
+  EXPECT_EQ(missed_scalar, free_running.diagnostics().missed_edges);
+}
+
 TEST(CarryChainTrng, CustomPlacementLocation) {
   const auto fabric = default_fabric();
   // Placing elsewhere on the die must work and give (slightly) different

@@ -37,6 +37,15 @@ have historically gone silently wrong:
       reaches into the test tree inverts the dependency graph and breaks
       standalone library builds.
 
+  TL006 per-bit-pushback
+      No BitStream::push_back on named BitStream objects in src/ outside
+      src/common/bitstream.{cpp,hpp} (the container's own implementation).
+      The batched BitSource layer exists precisely so hot paths assemble
+      packed words and append_words() them; a per-bit push_back loop
+      silently reintroduces the bit-at-a-time datapath the refactor
+      removed. Genuinely bit-serial algorithms (ASCII parsers, von
+      Neumann rejection) carry a justified suppression.
+
 Suppressions
 ------------
 A finding is suppressed by a marker on the same line or the line
@@ -294,12 +303,49 @@ class TestInclude(PatternRule):
         return findings
 
 
+class PerBitPushBack(Rule):
+    rule_id = "TL006"
+    name = "per-bit-pushback"
+    doc = ("no BitStream::push_back on named BitStream objects in src/ "
+           "outside src/common/bitstream.{cpp,hpp}; assemble words and "
+           "append_words() instead")
+
+    # Pass 1: names bound to BitStream objects (locals, members, reference
+    # parameters). Scanning declarations keeps the rule from firing on
+    # push_back calls against unrelated containers.
+    DECL_RE = re.compile(
+        r"\b(?:common::)?BitStream\b\s*&?\s*([A-Za-z_]\w*)\b")
+
+    def applies_to(self, rel):
+        if str(rel) in ("src/common/bitstream.cpp",
+                        "src/common/bitstream.hpp"):
+            return False
+        return _under(rel, "src/")
+
+    def check(self, rel, path, stripped):
+        names = {m.group(1) for m in self.DECL_RE.finditer(stripped)}
+        if not names:
+            return []
+        findings = []
+        # Pass 2: per-bit appends through any of those names.
+        alt = "|".join(sorted(re.escape(n) for n in names))
+        call_re = re.compile(r"\b(?:" + alt + r")\s*\.\s*push_back\s*\(")
+        for m in call_re.finditer(stripped):
+            findings.append((
+                _line_of(stripped, m.start()),
+                "per-bit BitStream::push_back in library code; build packed "
+                "words and append_words() them (or implement generate_into), "
+                "or justify the bit-serial loop with a suppression"))
+        return findings
+
+
 RULES: list[Rule] = [
     NondeterministicRng(),
     FloatType(),
     FpLiteralEquality(),
     NodiscardResult(),
     TestInclude(),
+    PerBitPushBack(),
 ]
 
 
