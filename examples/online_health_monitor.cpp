@@ -12,11 +12,17 @@
 // Phase 3 emulates partial degradation (heavy bias) caught by the
 // adaptive-proportion test.
 //
-//   build/examples/online_health_monitor
+//   build/examples/online_health_monitor [--json]
+//
+// With --json, the prose goes to stderr and a machine-readable
+// service-metrics snapshot ("trng.service.metrics.v1", the same schema
+// entropy_serverd and the pool's Metrics::snapshot_json emit) is printed
+// to stdout, so the example can be scraped like the service daemon.
 //
 // TRNG_EXAMPLE_BITS scales phase 1's post-processed bit budget (default
 // 40000) so smoke tests and full runs share this binary.
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "common/env.hpp"
@@ -24,9 +30,18 @@
 #include "core/bit_source.hpp"
 #include "core/health.hpp"
 #include "core/trng.hpp"
+#include "service/metrics.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trng;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  // In --json mode stdout carries only the snapshot; the narration moves
+  // to stderr.
+  std::FILE* out = json ? stderr : stdout;
+
   const std::size_t budget = common::env_size("TRNG_EXAMPLE_BITS", 40000);
   fpga::Fabric fabric(fpga::DeviceGeometry{}, 5);
   core::DesignParams params;
@@ -40,8 +55,14 @@ int main() {
   core::OnlineHealthMonitor monitor(/*h_per_bit=*/0.95);
   core::XorCompressedSource compressed(trng, /*np=*/7);
 
-  std::printf("phase 1: healthy operation (%zu raw captures -> %zu bits)\n",
-              budget * 7, budget);
+  // One producer slot, same bookkeeping the pool keeps per source.
+  service::Metrics metrics(1);
+  metrics.set_label(0, "carry-k1 np=7 (monitored)");
+  auto& counters = metrics.producer(0);
+
+  std::fprintf(out,
+               "phase 1: healthy operation (%zu raw captures -> %zu bits)\n",
+               budget * 7, budget);
   std::uint64_t alarms = 0;
   constexpr std::size_t kBlockBits = 1024;
   std::vector<std::uint64_t> block(kBlockBits / 64);
@@ -52,13 +73,21 @@ int main() {
     // In hardware the extractor's edge_found flag feeds the total-failure
     // test directly; no missed edges occur at m = 36, so feed_block's
     // edge_found=true matches the datapath.
-    alarms += monitor.feed_block(block.data(), n);
+    const std::uint64_t block_alarms = monitor.feed_block(block.data(), n);
+    alarms += block_alarms;
+    if (block_alarms == 0) {
+      counters.blocks_admitted.fetch_add(1);
+      counters.words_produced.fetch_add((n + 63) / 64);
+    } else {
+      counters.blocks_rejected.fetch_add(1);
+      counters.words_discarded.fetch_add((n + 63) / 64);
+    }
     done += n;
   }
-  std::printf("  alarms: %llu (expected 0)\n",
-              static_cast<unsigned long long>(alarms));
+  std::fprintf(out, "  alarms: %llu (expected 0)\n",
+               static_cast<unsigned long long>(alarms));
 
-  std::printf("phase 2: oscillator frozen (attack / failure)\n");
+  std::fprintf(out, "phase 2: oscillator frozen (attack / failure)\n");
   int captures_to_alarm = 0;
   bool tripped = false;
   for (int i = 0; i < 100 && !tripped; ++i) {
@@ -66,10 +95,14 @@ int main() {
     // A dead oscillator: constant lines, no edge, extractor outputs 0.
     tripped = monitor.feed(false, /*edge_found=*/false);
   }
-  std::printf("  monitor tripped after %d captures (%s)\n", captures_to_alarm,
-              tripped ? "OK" : "FAILED TO TRIP");
+  std::fprintf(out, "  monitor tripped after %d captures (%s)\n",
+               captures_to_alarm, tripped ? "OK" : "FAILED TO TRIP");
+  if (tripped) {
+    counters.quarantines.fetch_add(1);
+    counters.state.store(static_cast<int>(service::AdmitState::kQuarantined));
+  }
 
-  std::printf("phase 3: degraded source (bias 0.35)\n");
+  std::fprintf(out, "phase 3: degraded source (bias 0.35)\n");
   common::Xoshiro256StarStar rng(9);
   int bits_to_alarm = 0;
   tripped = false;
@@ -77,14 +110,18 @@ int main() {
     ++bits_to_alarm;
     tripped = monitor.feed(rng.next_double() < 0.85, true);
   }
-  std::printf("  monitor tripped after %d bits (%s)\n", bits_to_alarm,
-              tripped ? "OK" : "FAILED TO TRIP");
+  std::fprintf(out, "  monitor tripped after %d bits (%s)\n", bits_to_alarm,
+               tripped ? "OK" : "FAILED TO TRIP");
 
-  std::printf("\ncounters: repetition %llu, proportion %llu, total-failure "
-              "%llu\n",
-              static_cast<unsigned long long>(monitor.repetition().alarms()),
-              static_cast<unsigned long long>(monitor.proportion().alarms()),
-              static_cast<unsigned long long>(
-                  monitor.total_failure().alarms()));
+  std::fprintf(out,
+               "\ncounters: repetition %llu, proportion %llu, total-failure "
+               "%llu\n",
+               static_cast<unsigned long long>(monitor.repetition().alarms()),
+               static_cast<unsigned long long>(monitor.proportion().alarms()),
+               static_cast<unsigned long long>(
+                   monitor.total_failure().alarms()));
+
+  counters.health_alarms.store(monitor.total_alarms());
+  if (json) std::printf("%s\n", metrics.snapshot_json().c_str());
   return 0;
 }

@@ -37,6 +37,12 @@ std::uint64_t RepetitionCountTest::feed_block(const std::uint64_t* words,
   return block_alarms;
 }
 
+void RepetitionCountTest::reset() {
+  last_ = false;
+  run_ = 0;
+  alarms_ = 0;
+}
+
 AdaptiveProportionTest::AdaptiveProportionTest(double h_per_bit,
                                                unsigned window,
                                                double alpha_log2)
@@ -90,11 +96,23 @@ std::uint64_t AdaptiveProportionTest::feed_block(const std::uint64_t* words,
   return block_alarms;
 }
 
+void AdaptiveProportionTest::reset() {
+  pos_ = 0;
+  count_ = 0;
+  reference_ = false;
+  alarms_ = 0;
+}
+
 TotalFailureTest::TotalFailureTest(unsigned consecutive_miss_cutoff)
     : cutoff_(consecutive_miss_cutoff) {
   if (cutoff_ == 0) {
     throw std::invalid_argument("TotalFailureTest: cutoff must be >= 1");
   }
+}
+
+void TotalFailureTest::reset() {
+  misses_ = 0;
+  alarms_ = 0;
 }
 
 bool TotalFailureTest::feed(bool edge_found) {
@@ -135,6 +153,12 @@ std::uint64_t OnlineHealthMonitor::feed_block(const std::uint64_t* words,
 
 std::uint64_t OnlineHealthMonitor::feed_block(const common::BitStream& bits) {
   return feed_block(bits.words().data(), bits.size());
+}
+
+void OnlineHealthMonitor::reset() {
+  rep_.reset();
+  prop_.reset();
+  fail_.reset();
 }
 
 std::uint64_t OnlineHealthMonitor::total_alarms() const {

@@ -37,6 +37,12 @@ class RepetitionCountTest {
   /// each bit in order.
   std::uint64_t feed_block(const std::uint64_t* words, std::size_t nbits);
 
+  /// Returns the monitor to its just-constructed state (run and alarm
+  /// counters cleared). Used when the monitored source is replaced — e.g.
+  /// the service layer's reseed-and-probation re-admission after a
+  /// quarantine — so stale run state cannot leak across sources.
+  void reset();
+
   unsigned cutoff() const { return cutoff_; }
   std::uint64_t alarms() const { return alarms_; }
 
@@ -60,6 +66,9 @@ class AdaptiveProportionTest {
   /// Block form of feed(); returns the number of alarms in the block.
   std::uint64_t feed_block(const std::uint64_t* words, std::size_t nbits);
 
+  /// Returns to the just-constructed state (window and alarms cleared).
+  void reset();
+
   unsigned cutoff() const { return cutoff_; }
   unsigned window() const { return window_; }
   std::uint64_t alarms() const { return alarms_; }
@@ -81,6 +90,9 @@ class TotalFailureTest {
 
   /// Feeds the extractor's edge_found flag for one capture.
   bool feed(bool edge_found);
+
+  /// Returns to the just-constructed state (miss run and alarms cleared).
+  void reset();
 
   std::uint64_t alarms() const { return alarms_; }
 
@@ -107,6 +119,12 @@ class OnlineHealthMonitor {
 
   /// Convenience overload over a BitStream.
   std::uint64_t feed_block(const common::BitStream& bits);
+
+  /// Resets all three tests to their just-constructed state (alarm
+  /// counters included). The service layer calls this when a quarantined
+  /// producer is reseeded: the replacement source starts with a clean
+  /// monitor, and probation counts its alarms from zero.
+  void reset();
 
   std::uint64_t total_alarms() const;
   const RepetitionCountTest& repetition() const { return rep_; }

@@ -1,5 +1,7 @@
 #include "core/source_registry.hpp"
 
+#include <stdexcept>
+
 #include "core/baselines/str_trng.hpp"
 #include "core/baselines/sunar_trng.hpp"
 #include "core/baselines/tero_trng.hpp"
@@ -78,6 +80,17 @@ std::vector<SourceFactory> canonical_sources(const fpga::Fabric& fabric) {
        }});
 
   return registry;
+}
+
+std::unique_ptr<BitSource> make_die_seeded_source(const std::string& id,
+                                                  std::uint64_t die_seed,
+                                                  std::uint64_t stream_seed) {
+  const fpga::Fabric fabric(fpga::DeviceGeometry{}, die_seed);
+  for (const auto& factory : canonical_sources(fabric)) {
+    if (factory.id == id) return factory.make(stream_seed);
+  }
+  throw std::invalid_argument("make_die_seeded_source: unknown source id '" +
+                              id + "'");
 }
 
 }  // namespace trng::core

@@ -32,4 +32,16 @@ struct SourceFactory {
 /// source they create.
 std::vector<SourceFactory> canonical_sources(const fpga::Fabric& fabric);
 
+/// Constructs the registry source `id` on a freshly elaborated die
+/// (`die_seed`) with noise-stream seed `stream_seed` — the building block
+/// for multi-instance deployments: each entropy-pool producer runs its own
+/// physical die, exactly like a board carrying N independent FPGAs. The
+/// returned source is self-contained: no source type retains a reference
+/// to the Fabric (all elaborated timing is copied at construction), so the
+/// die is elaborated locally and discarded. Throws std::invalid_argument
+/// for an unknown id.
+std::unique_ptr<BitSource> make_die_seeded_source(const std::string& id,
+                                                  std::uint64_t die_seed,
+                                                  std::uint64_t stream_seed);
+
 }  // namespace trng::core

@@ -1,0 +1,135 @@
+#include "service/entropy_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "service/clock.hpp"
+
+namespace trng::service {
+
+void PoolConfig::validate() const {
+  if (producers == 0) {
+    throw std::invalid_argument("PoolConfig: producers must be >= 1");
+  }
+  if (ring_capacity_words < producer.block_bits / 64) {
+    throw std::invalid_argument(
+        "PoolConfig: ring_capacity_words must hold at least one block");
+  }
+  producer.validate();
+}
+
+EntropyPool::EntropyPool(SourceFactory make, PoolConfig config)
+    : config_(std::move(config)), metrics_(config_.producers) {
+  config_.validate();
+  rings_.reserve(config_.producers);
+  producers_.reserve(config_.producers);
+  for (std::size_t i = 0; i < config_.producers; ++i) {
+    rings_.push_back(std::make_unique<WordRing>(config_.ring_capacity_words));
+    producers_.push_back(std::make_unique<Producer>(
+        i, make, config_.stream_seed_base + i, config_.producer, *rings_[i],
+        metrics_.producer(i)));
+    metrics_.set_label(i, producers_[i]->source_info().name);
+    producers_[i]->set_admit_callback([this] {
+      // Empty critical section: pairs with the consumer's drain-then-wait
+      // under data_mu_ so a push between its drain and its wait cannot be
+      // missed (the notify is ordered after the consumer releases the
+      // mutex by entering the wait).
+      { std::lock_guard<std::mutex> lk(data_mu_); }
+      data_cv_.notify_all();
+    });
+  }
+}
+
+EntropyPool::~EntropyPool() { stop(); }
+
+void EntropyPool::start() {
+  if (started_.exchange(true)) return;
+  for (auto& producer : producers_) producer->start();
+}
+
+void EntropyPool::stop() {
+  if (stopped_.exchange(true)) return;
+  for (auto& ring : rings_) ring->close();  // unblocks pushers
+  for (auto& producer : producers_) producer->stop_and_join();
+  {
+    std::lock_guard<std::mutex> lk(data_mu_);
+  }
+  data_cv_.notify_all();  // unblocks consumers; rings now only drain
+}
+
+std::size_t EntropyPool::drain_rings(std::uint64_t* words,
+                                     std::size_t nwords) {
+  const std::size_t n = rings_.size();
+  const std::size_t start =
+      shard_cursor_.fetch_add(1, std::memory_order_relaxed) % n;
+  std::size_t delivered = 0;
+  // Keep sweeping the shards while any of them yields words; stop only
+  // after one full empty-handed sweep.
+  bool progressed = true;
+  while (delivered < nwords && progressed) {
+    progressed = false;
+    for (std::size_t k = 0; k < n && delivered < nwords; ++k) {
+      const std::size_t i = (start + k) % n;
+      const std::size_t got =
+          rings_[i]->pop_some(words + delivered, nwords - delivered);
+      if (got > 0) {
+        progressed = true;
+        delivered += got;
+        metrics_.producer(i).words_drawn.fetch_add(
+            got, std::memory_order_relaxed);
+        metrics_.producer(i).ring_words.store(rings_[i]->size(),
+                                              std::memory_order_relaxed);
+      }
+    }
+  }
+  return delivered;
+}
+
+std::size_t EntropyPool::draw(std::uint64_t* words, std::size_t nwords) {
+  metrics_.draws.fetch_add(1, std::memory_order_relaxed);
+  std::size_t delivered = drain_rings(words, nwords);
+  std::uint64_t waited_ns = 0;
+  while (delivered < nwords) {
+    std::unique_lock<std::mutex> lk(data_mu_);
+    // Re-check under the producers' notify mutex: a push that raced the
+    // drain above is visible here, and one that lands after this drain
+    // will block on data_mu_ until this thread is inside wait().
+    const std::size_t got =
+        drain_rings(words + delivered, nwords - delivered);
+    delivered += got;
+    if (delivered >= nwords) break;
+    if (stopped_.load(std::memory_order_acquire)) {
+      // Stopped and drained empty-handed: deliver short.
+      if (got == 0) break;
+      continue;
+    }
+    const std::uint64_t t0 = monotonic_ns();
+    data_cv_.wait(lk);
+    waited_ns += monotonic_ns() - t0;
+  }
+  if (waited_ns > 0) {
+    metrics_.draw_wait_ns.fetch_add(waited_ns, std::memory_order_relaxed);
+  }
+  metrics_.draw_wait_us.record(waited_ns / 1000);
+  metrics_.words_drawn.fetch_add(delivered, std::memory_order_relaxed);
+  return delivered;
+}
+
+std::size_t EntropyPool::draw_nonblocking(std::uint64_t* words,
+                                          std::size_t nwords) {
+  metrics_.draws.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t delivered = drain_rings(words, nwords);
+  metrics_.words_drawn.fetch_add(delivered, std::memory_order_relaxed);
+  if (delivered < nwords) {
+    metrics_.nonblocking_shortfall_words.fetch_add(
+        nwords - delivered, std::memory_order_relaxed);
+  }
+  return delivered;
+}
+
+AdmitState EntropyPool::producer_state(std::size_t i) const {
+  return static_cast<AdmitState>(
+      metrics_.producer(i).state.load(std::memory_order_relaxed));
+}
+
+}  // namespace trng::service

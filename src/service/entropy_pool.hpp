@@ -1,0 +1,117 @@
+// EntropyPool: the concurrent serving layer over the BitSource substrate.
+//
+//   producer 0: die-seeded source ──► health gate ──► ring 0 ─┐
+//   producer 1: die-seeded source ──► health gate ──► ring 1 ─┼─► sharded
+//   ...                                                       │   draw()
+//   producer N: die-seeded source ──► health gate ──► ring N ─┘
+//
+// Each producer owns an independent source (its own simulated die), runs
+// the batched generate_into path in blocks, screens every block through
+// the embedded online health tests, and only admitted blocks reach its
+// ring. A producer whose block trips the health gate is quarantined: its
+// output is discarded, its source deterministically reseeded, and it must
+// serve a clean probation before being re-admitted — the pool meanwhile
+// keeps serving from the surviving producers. Backpressure is symmetric:
+// full rings stall producers (push blocks), empty rings stall consumers
+// (draw blocks), and both stalls are metered.
+//
+// Determinism guarantee: with a fixed seed and producers == 1, the drawn
+// word stream is bit-identical to the underlying source's generate_into
+// stream for as long as no block is rejected (a healthy source under the
+// configured gate). Multi-producer draws interleave rings in round-robin
+// shard order, so per-producer substreams remain deterministic while the
+// interleaving depends on thread timing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "service/metrics.hpp"
+#include "service/producer.hpp"
+#include "service/ring_buffer.hpp"
+
+namespace trng::service {
+
+struct PoolConfig {
+  std::size_t producers = 1;
+
+  /// Per-producer ring capacity in 64-bit words; must hold at least one
+  /// block (producer.block_bits / 64).
+  std::size_t ring_capacity_words = 1 << 12;
+
+  ProducerConfig producer;
+
+  /// Stream seed of producer i is stream_seed_base + i; each seed heads an
+  /// independent SplitMix64 reseed-epoch stream (see Producer).
+  std::uint64_t stream_seed_base = 1;
+
+  void validate() const;
+};
+
+class EntropyPool {
+ public:
+  /// Constructs all producers (and their epoch-0 sources) synchronously;
+  /// no threads run until start(). Throws std::invalid_argument on a bad
+  /// config or factory.
+  EntropyPool(SourceFactory make, PoolConfig config);
+
+  /// Stops and joins everything.
+  ~EntropyPool();
+
+  EntropyPool(const EntropyPool&) = delete;
+  EntropyPool& operator=(const EntropyPool&) = delete;
+
+  /// Spawns the producer threads. Idempotent.
+  void start();
+
+  /// Closes the rings and joins the producers. Buffered words remain
+  /// drawable (draw drains them, then returns short). Idempotent.
+  void stop();
+
+  /// Blocking draw: fills `words` with `nwords` packed words, taking them
+  /// from the producer rings in round-robin shard order. Returns the
+  /// number of words delivered — less than `nwords` only once the pool is
+  /// stopped and drained. Thread-safe (any number of consumers).
+  std::size_t draw(std::uint64_t* words, std::size_t nwords);
+
+  /// Non-blocking draw: delivers whatever is buffered right now, up to
+  /// `nwords`; returns the number of words delivered.
+  std::size_t draw_nonblocking(std::uint64_t* words, std::size_t nwords);
+
+  std::size_t producers() const { return producers_.size(); }
+
+  /// Admission state of producer i (snapshot of the quarantine gauge).
+  AdmitState producer_state(std::size_t i) const;
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  /// Direct access for deterministic single-threaded tests (drive
+  /// Producer::step() by hand). Must not be mixed with start().
+  Producer& producer(std::size_t i) { return *producers_[i]; }
+  WordRing& ring(std::size_t i) { return *rings_[i]; }
+
+ private:
+  std::size_t drain_rings(std::uint64_t* words, std::size_t nwords);
+
+  PoolConfig config_;
+  Metrics metrics_;
+  std::vector<std::unique_ptr<WordRing>> rings_;
+  std::vector<std::unique_ptr<Producer>> producers_;
+
+  std::atomic<std::size_t> shard_cursor_{0};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  /// Consumers wait here when every ring is empty; producers notify after
+  /// each admitted push (see draw() for the lost-wakeup argument).
+  std::mutex data_mu_;
+  std::condition_variable data_cv_;
+};
+
+}  // namespace trng::service

@@ -1,0 +1,79 @@
+#include "service/ring_buffer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "service/clock.hpp"
+
+namespace trng::service {
+
+WordRing::WordRing(std::size_t capacity_words) : buf_(capacity_words) {
+  if (capacity_words == 0) {
+    throw std::invalid_argument("WordRing: capacity must be >= 1 word");
+  }
+}
+
+std::size_t WordRing::push(const std::uint64_t* words, std::size_t n,
+                           std::uint64_t* stall_ns) {
+  std::size_t pushed = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (pushed < n) {
+    if (count_ == buf_.size()) {
+      if (closed_) break;
+      const std::uint64_t t0 = monotonic_ns();
+      space_cv_.wait(lk, [&] { return count_ < buf_.size() || closed_; });
+      if (stall_ns != nullptr) *stall_ns += monotonic_ns() - t0;
+      continue;
+    }
+    if (closed_) break;
+    // Copy into the free region, at most up to the physical wrap point.
+    const std::size_t tail = (head_ + count_) % buf_.size();
+    const std::size_t contiguous =
+        std::min(buf_.size() - tail, buf_.size() - count_);
+    const std::size_t take = std::min(contiguous, n - pushed);
+    std::memcpy(buf_.data() + tail, words + pushed,
+                take * sizeof(std::uint64_t));
+    count_ += take;
+    pushed += take;
+  }
+  return pushed;
+}
+
+std::size_t WordRing::pop_some(std::uint64_t* out, std::size_t n) {
+  std::size_t popped = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    while (popped < n && count_ > 0) {
+      const std::size_t contiguous = std::min(buf_.size() - head_, count_);
+      const std::size_t take = std::min(contiguous, n - popped);
+      std::memcpy(out + popped, buf_.data() + head_,
+                  take * sizeof(std::uint64_t));
+      head_ = (head_ + take) % buf_.size();
+      count_ -= take;
+      popped += take;
+    }
+  }
+  if (popped > 0) space_cv_.notify_all();
+  return popped;
+}
+
+std::size_t WordRing::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return count_;
+}
+
+void WordRing::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  space_cv_.notify_all();
+}
+
+bool WordRing::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+}  // namespace trng::service

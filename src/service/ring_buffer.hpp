@@ -1,0 +1,62 @@
+// Bounded FIFO ring of packed 64-bit words — one per pool producer.
+//
+// The ring is the hand-off point between a producer thread (health-gated
+// blocks of generator output) and the pool's consumer side. Push blocks
+// while the ring is full (backpressure: the producer stalls rather than
+// dropping or overwriting entropy that consumers have not drawn yet);
+// pop never blocks — the pool's draw() handles cross-ring waiting so a
+// single slow ring cannot stall a consumer that other rings could serve.
+//
+// Word granularity matches BitSource::generate_into: producers push whole
+// admitted blocks (a multiple of 64 bits), consumers draw packed words.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace trng::service {
+
+class WordRing {
+ public:
+  /// Capacity in 64-bit words; must be >= 1.
+  /// Throws std::invalid_argument otherwise.
+  explicit WordRing(std::size_t capacity_words);
+
+  WordRing(const WordRing&) = delete;
+  WordRing& operator=(const WordRing&) = delete;
+
+  /// Enqueues `n` words, blocking while the ring is full. Returns the
+  /// number of words actually enqueued — less than `n` only when the ring
+  /// is closed mid-push (pool shutdown). If `stall_ns` is non-null it is
+  /// incremented by the time spent blocked waiting for space.
+  std::size_t push(const std::uint64_t* words, std::size_t n,
+                   std::uint64_t* stall_ns);
+
+  /// Dequeues up to `n` words into `out` without blocking; returns the
+  /// number of words delivered (0 when empty).
+  std::size_t pop_some(std::uint64_t* out, std::size_t n);
+
+  /// Words currently buffered.
+  std::size_t size() const;
+
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Marks the ring closed and wakes any blocked pusher. Buffered words
+  /// remain drawable; further pushes return immediately.
+  void close();
+
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable space_cv_;
+  std::vector<std::uint64_t> buf_;
+  std::size_t head_ = 0;   ///< index of the oldest buffered word
+  std::size_t count_ = 0;  ///< buffered words
+  bool closed_ = false;
+};
+
+}  // namespace trng::service

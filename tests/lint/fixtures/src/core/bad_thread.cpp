@@ -1,0 +1,17 @@
+// TL007 fixture: raw thread ownership outside src/service/ plus a detach.
+#include <thread>
+
+namespace trng::core {
+
+class BadWorker {
+ public:
+  void start() {
+    worker_ = std::thread([] {});  // raw std::thread outside the service layer
+    worker_.detach();              // detached: can never be joined again
+  }
+
+ private:
+  std::thread worker_;  // raw thread member outside src/service/
+};
+
+}  // namespace trng::core

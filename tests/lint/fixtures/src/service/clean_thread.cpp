@@ -1,0 +1,19 @@
+// TL007 negative fixture: inside src/service/ an owned, always-joined
+// std::thread is the blessed pattern and must not be flagged. (detach()
+// would still fire even here — the clean worker never detaches.)
+#include <thread>
+
+namespace trng::service {
+
+class CleanWorker {
+ public:
+  void start() { worker_ = std::thread([] {}); }
+  void stop_and_join() {
+    if (worker_.joinable()) worker_.join();
+  }
+
+ private:
+  std::thread worker_;
+};
+
+}  // namespace trng::service

@@ -1,0 +1,586 @@
+// Tests for the entropy-pool service layer: ring buffer, metrics,
+// quarantine policy, producer pipeline and the pool itself — including the
+// tentpole determinism guarantee (fixed seed + producers == 1 => the drawn
+// stream is bit-identical to the source's batched generate_into path).
+//
+// Suites are named Service*/EntropyPool* on purpose: the `tsan-service`
+// ctest preset selects them with the regex ^(Service|EntropyPool).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/source_registry.hpp"
+#include "service/entropy_pool.hpp"
+
+namespace {
+
+using namespace trng;
+
+// Spin-polls `pred` with a sleep, bounded by a generous deadline so the
+// threaded tests stay robust on loaded single-core CI machines.
+bool eventually(const std::function<bool()>& pred,
+                std::chrono::seconds deadline = std::chrono::seconds(60)) {
+  const auto t_end = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < t_end) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+service::SourceFactory registry_factory(const std::string& id,
+                                        std::uint64_t die_seed_base) {
+  return [id, die_seed_base](std::size_t index, std::uint64_t seed) {
+    return core::make_die_seeded_source(id, die_seed_base + index, seed);
+  };
+}
+
+// A gate that a sane source never trips: assessed entropy so low that the
+// repetition cutoff (1 + ceil(20 / 0.05) = 401) and the proportion cutoff
+// are unreachable for any remotely balanced stream.
+service::ProducerConfig permissive_producer(std::size_t block_bits) {
+  service::ProducerConfig cfg;
+  cfg.block_bits = block_bits;
+  cfg.h_per_bit = 0.05;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- WordRing
+
+TEST(ServiceRing, RejectsZeroCapacity) {
+  EXPECT_THROW(service::WordRing ring(0), std::invalid_argument);
+}
+
+TEST(ServiceRing, FifoOrderAcrossWrap) {
+  service::WordRing ring(8);
+  std::vector<std::uint64_t> in = {1, 2, 3, 4, 5};
+  ASSERT_EQ(ring.push(in.data(), in.size(), nullptr), in.size());
+  EXPECT_EQ(ring.size(), 5u);
+
+  std::uint64_t out[8] = {};
+  ASSERT_EQ(ring.pop_some(out, 3), 3u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 2u);
+  EXPECT_EQ(out[2], 3u);
+
+  // head is now at 3; pushing 6 more wraps around the physical end.
+  std::vector<std::uint64_t> in2 = {6, 7, 8, 9, 10, 11};
+  ASSERT_EQ(ring.push(in2.data(), in2.size(), nullptr), in2.size());
+  EXPECT_EQ(ring.size(), 8u);
+
+  std::vector<std::uint64_t> rest(8);
+  ASSERT_EQ(ring.pop_some(rest.data(), rest.size()), 8u);
+  const std::vector<std::uint64_t> expect = {4, 5, 6, 7, 8, 9, 10, 11};
+  EXPECT_EQ(rest, expect);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(ServiceRing, PopOnEmptyReturnsZero) {
+  service::WordRing ring(4);
+  std::uint64_t out[4];
+  EXPECT_EQ(ring.pop_some(out, 4), 0u);
+}
+
+TEST(ServiceRing, CloseUnblocksAndTruncatesPush) {
+  service::WordRing ring(4);
+  std::vector<std::uint64_t> fill = {1, 2, 3, 4};
+  ASSERT_EQ(ring.push(fill.data(), fill.size(), nullptr), 4u);
+
+  std::uint64_t stall_ns = 0;
+  std::size_t pushed_blocked = 999;
+  std::thread pusher([&] {
+    std::vector<std::uint64_t> more = {5, 6};
+    pushed_blocked = ring.push(more.data(), more.size(), &stall_ns);
+  });
+  // Give the pusher time to block on the full ring, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.close();
+  pusher.join();
+
+  EXPECT_EQ(pushed_blocked, 0u);  // nothing fit before the close
+  EXPECT_GT(stall_ns, 0u);        // and the wait was metered
+  EXPECT_TRUE(ring.closed());
+
+  // Buffered words stay drawable after close; new pushes are refused.
+  std::vector<std::uint64_t> out(4);
+  EXPECT_EQ(ring.pop_some(out.data(), out.size()), 4u);
+  EXPECT_EQ(out, fill);
+  std::uint64_t word = 7;
+  EXPECT_EQ(ring.push(&word, 1, nullptr), 0u);
+}
+
+// --------------------------------------------------------------- Histogram
+
+TEST(ServiceHistogram, RejectsBadBounds) {
+  EXPECT_THROW(service::Histogram({}), std::invalid_argument);
+  EXPECT_THROW(service::Histogram({5, 5}), std::invalid_argument);
+  EXPECT_THROW(service::Histogram({5, 3}), std::invalid_argument);
+}
+
+TEST(ServiceHistogram, BucketsAreUpperBoundInclusive) {
+  service::Histogram h({10, 20});
+  h.record(0);
+  h.record(10);  // <= 10 -> bucket 0
+  h.record(11);
+  h.record(20);  // <= 20 -> bucket 1
+  h.record(21);  // overflow
+  ASSERT_EQ(h.buckets(), 3u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.to_json(),
+            "{\"bounds\": [10, 20], \"counts\": [2, 2, 1]}");
+}
+
+// ----------------------------------------------------------------- Metrics
+
+TEST(ServiceMetrics, SnapshotJsonCarriesLabelsStatesAndCounters) {
+  service::Metrics metrics(2);
+  metrics.set_label(0, "carry-k1 \"die 0\"");
+  metrics.producer(0).words_produced.store(1234);
+  metrics.producer(1).state.store(
+      static_cast<int>(service::AdmitState::kQuarantined));
+  metrics.words_drawn.store(999);
+
+  const std::string json = metrics.snapshot_json();
+  EXPECT_NE(json.find("\"schema\": \"trng.service.metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"words_produced\": 1234"), std::string::npos);
+  EXPECT_NE(json.find("\"words_drawn\": 999"), std::string::npos);
+  EXPECT_NE(json.find("\"state\": \"quarantined\""), std::string::npos);
+  // The label's quote is escaped, default label of producer 1 kept.
+  EXPECT_NE(json.find("carry-k1 \\\"die 0\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"producer-1\""), std::string::npos);
+
+  // Structural sanity: braces and brackets balance.
+  long braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ServiceMetrics, AdmitStateNames) {
+  EXPECT_STREQ(service::admit_state_name(service::AdmitState::kHealthy),
+               "healthy");
+  EXPECT_STREQ(service::admit_state_name(service::AdmitState::kQuarantined),
+               "quarantined");
+  EXPECT_STREQ(service::admit_state_name(service::AdmitState::kProbation),
+               "probation");
+}
+
+// -------------------------------------------------------------- Quarantine
+
+TEST(ServiceQuarantine, RejectsBadConfig) {
+  service::QuarantineConfig bad;
+  bad.alarm_threshold = 0;
+  EXPECT_THROW(service::QuarantinePolicy{bad}, std::invalid_argument);
+  bad = service::QuarantineConfig{};
+  bad.probation_blocks = 0;
+  EXPECT_THROW(service::QuarantinePolicy{bad}, std::invalid_argument);
+}
+
+TEST(ServiceQuarantine, CleanBlocksStayAdmitted) {
+  service::QuarantinePolicy policy{service::QuarantineConfig{}};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy.on_block(0), service::BlockDecision::kAdmit);
+  }
+  EXPECT_EQ(policy.state(), service::AdmitState::kHealthy);
+  EXPECT_EQ(policy.trips(), 0u);
+}
+
+TEST(ServiceQuarantine, AlarmThresholdGatesTheTrip) {
+  service::QuarantineConfig cfg;
+  cfg.alarm_threshold = 3;
+  service::QuarantinePolicy policy{cfg};
+  EXPECT_EQ(policy.on_block(2), service::BlockDecision::kAdmit);
+  EXPECT_EQ(policy.on_block(3), service::BlockDecision::kDiscardAndReseed);
+  EXPECT_EQ(policy.state(), service::AdmitState::kQuarantined);
+  EXPECT_EQ(policy.trips(), 1u);
+}
+
+TEST(ServiceQuarantine, FullTripCooldownProbationReadmitCycle) {
+  service::QuarantineConfig cfg;
+  cfg.cooldown_blocks = 2;
+  cfg.probation_blocks = 2;
+  service::QuarantinePolicy policy{cfg};
+
+  EXPECT_EQ(policy.on_block(1), service::BlockDecision::kDiscardAndReseed);
+  EXPECT_EQ(policy.state(), service::AdmitState::kQuarantined);
+
+  // Two clean cooldown blocks, both discarded; the second one moves the
+  // machine to probation.
+  EXPECT_EQ(policy.on_block(0), service::BlockDecision::kDiscard);
+  EXPECT_EQ(policy.state(), service::AdmitState::kQuarantined);
+  EXPECT_EQ(policy.on_block(0), service::BlockDecision::kDiscard);
+  EXPECT_EQ(policy.state(), service::AdmitState::kProbation);
+
+  // Two clean probation blocks re-admit; the completing block is still
+  // discarded, admission resumes with the next block.
+  EXPECT_EQ(policy.on_block(0), service::BlockDecision::kDiscard);
+  EXPECT_EQ(policy.state(), service::AdmitState::kProbation);
+  EXPECT_EQ(policy.on_block(0), service::BlockDecision::kDiscard);
+  EXPECT_EQ(policy.state(), service::AdmitState::kHealthy);
+  EXPECT_EQ(policy.readmissions(), 1u);
+  EXPECT_EQ(policy.on_block(0), service::BlockDecision::kAdmit);
+}
+
+TEST(ServiceQuarantine, RetripDuringCooldownReseedsAgain) {
+  service::QuarantineConfig cfg;
+  cfg.cooldown_blocks = 2;
+  service::QuarantinePolicy policy{cfg};
+  EXPECT_EQ(policy.on_block(5), service::BlockDecision::kDiscardAndReseed);
+  // The reseeded source trips too (environmental fault): reseed again,
+  // cooldown restarts.
+  EXPECT_EQ(policy.on_block(1), service::BlockDecision::kDiscardAndReseed);
+  EXPECT_EQ(policy.trips(), 2u);
+  EXPECT_EQ(policy.state(), service::AdmitState::kQuarantined);
+  EXPECT_EQ(policy.on_block(0), service::BlockDecision::kDiscard);
+  EXPECT_EQ(policy.on_block(0), service::BlockDecision::kDiscard);
+  EXPECT_EQ(policy.state(), service::AdmitState::kProbation);
+}
+
+TEST(ServiceQuarantine, RetripDuringProbationRestartsQuarantine) {
+  service::QuarantineConfig cfg;
+  cfg.cooldown_blocks = 1;
+  cfg.probation_blocks = 3;
+  service::QuarantinePolicy policy{cfg};
+  policy.on_block(1);                  // -> quarantined
+  policy.on_block(0);                  // cooldown done -> probation
+  EXPECT_EQ(policy.state(), service::AdmitState::kProbation);
+  policy.on_block(0);                  // 1 clean probation block
+  EXPECT_EQ(policy.on_block(2), service::BlockDecision::kDiscardAndReseed);
+  EXPECT_EQ(policy.state(), service::AdmitState::kQuarantined);
+  EXPECT_EQ(policy.trips(), 2u);
+  EXPECT_EQ(policy.readmissions(), 0u);
+  // Probation's clean-block counter restarted: 1 cooldown + 3 clean blocks
+  // to get back out.
+  policy.on_block(0);
+  policy.on_block(0);
+  policy.on_block(0);
+  EXPECT_EQ(policy.state(), service::AdmitState::kProbation);
+  policy.on_block(0);
+  EXPECT_EQ(policy.state(), service::AdmitState::kHealthy);
+  EXPECT_EQ(policy.readmissions(), 1u);
+}
+
+TEST(ServiceQuarantine, ZeroCooldownGoesStraightToProbation) {
+  service::QuarantineConfig cfg;
+  cfg.cooldown_blocks = 0;
+  cfg.probation_blocks = 1;
+  service::QuarantinePolicy policy{cfg};
+  policy.on_block(1);
+  EXPECT_EQ(policy.state(), service::AdmitState::kQuarantined);
+  EXPECT_EQ(policy.on_block(0), service::BlockDecision::kDiscard);
+  EXPECT_EQ(policy.state(), service::AdmitState::kProbation);
+  EXPECT_EQ(policy.on_block(0), service::BlockDecision::kDiscard);
+  EXPECT_EQ(policy.state(), service::AdmitState::kHealthy);
+}
+
+// ---------------------------------------------------------------- Producer
+
+TEST(ServiceProducer, ManualStepsAdmitBlocksAndFireCallback) {
+  service::Metrics metrics(1);
+  service::WordRing ring(64);
+  auto factory_calls = std::make_shared<int>(0);
+  service::ProducerConfig cfg = permissive_producer(512);
+  service::Producer producer(
+      0,
+      [factory_calls](std::size_t index, std::uint64_t seed) {
+        ++*factory_calls;
+        return core::make_die_seeded_source("str-virtex", 40 + index, seed);
+      },
+      /*stream_seed=*/7, cfg, ring, metrics.producer(0));
+
+  int admitted_callbacks = 0;
+  producer.set_admit_callback([&] { ++admitted_callbacks; });
+
+  EXPECT_EQ(*factory_calls, 1);  // epoch-0 source built in the constructor
+  EXPECT_TRUE(producer.step());
+  EXPECT_TRUE(producer.step());
+  EXPECT_EQ(*factory_calls, 1);  // healthy: no reseed
+  EXPECT_EQ(admitted_callbacks, 2);
+  EXPECT_EQ(producer.state(), service::AdmitState::kHealthy);
+
+  const auto& c = metrics.producer(0);
+  EXPECT_EQ(c.blocks_admitted.load(), 2u);
+  EXPECT_EQ(c.words_produced.load(), 2 * 512u / 64);
+  EXPECT_EQ(c.words_discarded.load(), 0u);
+  EXPECT_EQ(ring.size(), 2 * 512u / 64);
+  EXPECT_GT(c.ring_occupancy_pct.total(), 0u);
+}
+
+TEST(ServiceProducer, ConfigValidationRejectsNonsense) {
+  service::Metrics metrics(1);
+  service::WordRing ring(64);
+  auto make = [](std::size_t, std::uint64_t seed) {
+    return core::make_die_seeded_source("str-virtex", 40, seed);
+  };
+  auto construct = [&](service::ProducerConfig cfg) {
+    service::Producer producer(0, make, 1, cfg, ring, metrics.producer(0));
+  };
+
+  service::ProducerConfig cfg;
+  cfg.block_bits = 0;
+  EXPECT_THROW(construct(cfg), std::invalid_argument);
+  cfg = service::ProducerConfig{};
+  cfg.block_bits = 65;  // not a multiple of 64
+  EXPECT_THROW(construct(cfg), std::invalid_argument);
+  cfg = service::ProducerConfig{};
+  cfg.h_per_bit = 0.0;
+  EXPECT_THROW(construct(cfg), std::invalid_argument);
+  cfg = service::ProducerConfig{};
+  cfg.h_per_bit = 1.5;
+  EXPECT_THROW(construct(cfg), std::invalid_argument);
+  cfg = service::ProducerConfig{};
+  cfg.alpha_log2 = 0.0;
+  EXPECT_THROW(construct(cfg), std::invalid_argument);
+  cfg = service::ProducerConfig{};
+  cfg.pace_bits_per_s = -1.0;
+  EXPECT_THROW(construct(cfg), std::invalid_argument);
+
+  // Null factory and a ring smaller than one block are constructor errors.
+  EXPECT_THROW(
+      service::Producer(0, service::SourceFactory{}, 1,
+                        service::ProducerConfig{}, ring,
+                        metrics.producer(0)),
+      std::invalid_argument);
+  service::WordRing tiny(8);
+  service::ProducerConfig big;
+  big.block_bits = 1024;  // 16 words > 8
+  EXPECT_THROW(
+      service::Producer(0, make, 1, big, tiny, metrics.producer(0)),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------------- EntropyPool
+
+TEST(EntropyPool, ConfigValidationRejectsNonsense) {
+  auto make = registry_factory("str-virtex", 40);
+  service::PoolConfig cfg;
+  cfg.producers = 0;
+  EXPECT_THROW(service::EntropyPool(make, cfg), std::invalid_argument);
+
+  cfg = service::PoolConfig{};
+  cfg.producer.block_bits = 4096;
+  cfg.ring_capacity_words = 4096 / 64 - 1;  // cannot hold one block
+  EXPECT_THROW(service::EntropyPool(make, cfg), std::invalid_argument);
+}
+
+// The tentpole determinism guarantee: one producer, fixed seed, a gate the
+// source never trips => the drawn stream is bit-identical to the raw
+// batched generate_into stream of the same die-seeded source.
+TEST(EntropyPool, SingleProducerDrawIsBitIdenticalToBatchedSource) {
+  constexpr std::size_t kWords = 200;
+  constexpr std::uint64_t kDieSeed = 40;
+  constexpr std::uint64_t kStreamSeedBase = 9001;
+
+  service::PoolConfig cfg;
+  cfg.producers = 1;
+  cfg.producer = permissive_producer(512);
+  cfg.ring_capacity_words = 64;
+  cfg.stream_seed_base = kStreamSeedBase;
+
+  // Reference: the producer's epoch-0 seed is the first draw of a
+  // SplitMix64 stream seeded with stream_seed_base + index.
+  const std::uint64_t epoch0_seed = common::SplitMix64(kStreamSeedBase).next();
+  auto reference = core::make_die_seeded_source("str-virtex", kDieSeed,
+                                                epoch0_seed);
+  std::vector<std::uint64_t> expect(kWords);
+  reference->generate_into(expect.data(), kWords * 64);
+
+  service::EntropyPool pool(registry_factory("str-virtex", kDieSeed), cfg);
+  pool.start();
+  std::vector<std::uint64_t> got(kWords);
+  // Draw in ragged chunks so ring wrap-around and partial pops are hit.
+  const std::size_t chunks[] = {1, 7, 64, 3, 125};
+  std::size_t at = 0;
+  for (std::size_t c : chunks) {
+    ASSERT_EQ(pool.draw(got.data() + at, c), c);
+    at += c;
+  }
+  ASSERT_EQ(at, kWords);
+  pool.stop();
+
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(pool.metrics().words_drawn.load(), kWords);
+  EXPECT_EQ(pool.producer_state(0), service::AdmitState::kHealthy);
+  EXPECT_EQ(pool.metrics().producer(0).quarantines.load(), 0u);
+}
+
+TEST(EntropyPool, MultiProducerDrawDeliversAndAccounts) {
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kWords = 1024;
+
+  service::PoolConfig cfg;
+  cfg.producers = kProducers;
+  cfg.producer = permissive_producer(512);
+  cfg.ring_capacity_words = 128;
+
+  service::EntropyPool pool(registry_factory("str-virtex", 60), cfg);
+  pool.start();
+
+  std::vector<std::uint64_t> words(kWords);
+  std::size_t at = 0;
+  while (at < kWords) {
+    const std::size_t chunk = std::min<std::size_t>(128, kWords - at);
+    ASSERT_EQ(pool.draw(words.data() + at, chunk), chunk);
+    at += chunk;
+  }
+  // All producers got scheduled and contributed into their rings.
+  EXPECT_TRUE(eventually([&] {
+    for (std::size_t i = 0; i < kProducers; ++i) {
+      if (pool.metrics().producer(i).words_produced.load() == 0) return false;
+    }
+    return true;
+  }));
+  pool.stop();
+
+  // Conservation: pool-level drawn words == sum over producers, and no
+  // producer handed out more than it produced.
+  std::uint64_t per_producer_drawn = 0;
+  for (std::size_t i = 0; i < kProducers; ++i) {
+    const auto& c = pool.metrics().producer(i);
+    per_producer_drawn += c.words_drawn.load();
+    EXPECT_LE(c.words_drawn.load(), c.words_produced.load());
+  }
+  EXPECT_EQ(pool.metrics().words_drawn.load(), per_producer_drawn);
+  EXPECT_GE(pool.metrics().words_drawn.load(), kWords);
+}
+
+TEST(EntropyPool, StopMakesDrawReturnShortAfterDraining) {
+  service::PoolConfig cfg;
+  cfg.producers = 1;
+  cfg.producer = permissive_producer(512);
+  cfg.ring_capacity_words = 64;
+
+  service::EntropyPool pool(registry_factory("str-virtex", 70), cfg);
+  pool.start();
+  std::vector<std::uint64_t> words(32);
+  ASSERT_EQ(pool.draw(words.data(), 32), 32u);
+  pool.stop();
+
+  // Whatever is still buffered can be drained, then draws come back short
+  // instead of blocking forever.
+  std::vector<std::uint64_t> rest(1 << 12);
+  std::size_t total = 0;
+  for (;;) {
+    const std::size_t got = pool.draw(rest.data(), rest.size());
+    total += got;
+    if (got < rest.size()) break;
+  }
+  EXPECT_LE(total, cfg.ring_capacity_words);
+  std::uint64_t one;
+  EXPECT_EQ(pool.draw(&one, 1), 0u);
+}
+
+TEST(EntropyPool, NonblockingDrawDeliversBufferedWordsOnly) {
+  service::PoolConfig cfg;
+  cfg.producers = 1;
+  cfg.producer = permissive_producer(512);
+  cfg.ring_capacity_words = 64;
+
+  service::EntropyPool pool(registry_factory("str-virtex", 80), cfg);
+  // Not started: nothing buffered, shortfall is metered.
+  std::vector<std::uint64_t> words(16);
+  EXPECT_EQ(pool.draw_nonblocking(words.data(), 16), 0u);
+  EXPECT_EQ(pool.metrics().nonblocking_shortfall_words.load(), 16u);
+
+  // Drive one block in by hand (512 bits = 8 words) and draw it out.
+  ASSERT_TRUE(pool.producer(0).step());
+  EXPECT_EQ(pool.draw_nonblocking(words.data(), 16), 8u);
+  EXPECT_EQ(pool.metrics().nonblocking_shortfall_words.load(), 16u + 8u);
+}
+
+TEST(EntropyPool, BackpressureStallsProducerAndIsMetered) {
+  service::PoolConfig cfg;
+  cfg.producers = 1;
+  cfg.producer = permissive_producer(512);
+  cfg.ring_capacity_words = 512 / 64;  // exactly one block: tight ring
+
+  service::EntropyPool pool(registry_factory("str-virtex", 90), cfg);
+  pool.start();
+  // Let the producer fill the ring and block on the next push.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  std::vector<std::uint64_t> words(8);
+  ASSERT_TRUE(eventually([&] {
+    (void)pool.draw_nonblocking(words.data(), words.size());
+    return pool.metrics().producer(0).stall_ns.load() > 0;
+  }));
+  pool.stop();
+  EXPECT_GT(pool.metrics().producer(0).stall_ns.load(), 0u);
+}
+
+TEST(EntropyPool, ConcurrentConsumersSplitTheStreamWithoutLossOrDuplication) {
+  // Two consumer threads hammer draw() concurrently; conservation of words
+  // (pool tally == sum of per-producer tallies == words delivered) holds.
+  service::PoolConfig cfg;
+  cfg.producers = 2;
+  cfg.producer = permissive_producer(512);
+  cfg.ring_capacity_words = 128;
+
+  service::EntropyPool pool(registry_factory("str-virtex", 100), cfg);
+  pool.start();
+
+  constexpr std::size_t kPerConsumer = 512;
+  std::vector<std::uint64_t> got_a(kPerConsumer), got_b(kPerConsumer);
+  std::atomic<std::size_t> delivered{0};
+  auto consume = [&](std::uint64_t* out) {
+    std::size_t at = 0;
+    while (at < kPerConsumer) {
+      const std::size_t chunk = std::min<std::size_t>(64, kPerConsumer - at);
+      const std::size_t got = pool.draw(out + at, chunk);
+      at += got;
+      delivered.fetch_add(got);
+      if (got < chunk) break;  // stopped underneath us
+    }
+  };
+  std::thread consumer_a([&] { consume(got_a.data()); });
+  std::thread consumer_b([&] { consume(got_b.data()); });
+  consumer_a.join();
+  consumer_b.join();
+  pool.stop();
+
+  EXPECT_EQ(delivered.load(), 2 * kPerConsumer);
+  std::uint64_t per_producer_drawn = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    per_producer_drawn += pool.metrics().producer(i).words_drawn.load();
+  }
+  EXPECT_EQ(pool.metrics().words_drawn.load(), per_producer_drawn);
+  EXPECT_EQ(per_producer_drawn, 2 * kPerConsumer);
+}
+
+TEST(EntropyPool, SnapshotJsonReflectsLiveCounters) {
+  service::PoolConfig cfg;
+  cfg.producers = 1;
+  cfg.producer = permissive_producer(512);
+  cfg.ring_capacity_words = 64;
+
+  service::EntropyPool pool(registry_factory("str-virtex", 110), cfg);
+  ASSERT_TRUE(pool.producer(0).step());
+  std::vector<std::uint64_t> words(8);
+  ASSERT_EQ(pool.draw_nonblocking(words.data(), 8), 8u);
+
+  const std::string json = pool.metrics().snapshot_json();
+  EXPECT_NE(json.find("\"schema\": \"trng.service.metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"words_produced\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"words_drawn\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"state\": \"healthy\""), std::string::npos);
+  // The label came from the source's own info().
+  EXPECT_NE(json.find("Cherkaoui"), std::string::npos);
+}
+
+}  // namespace

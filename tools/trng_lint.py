@@ -339,6 +339,42 @@ class PerBitPushBack(Rule):
         return findings
 
 
+class ThreadConfinement(Rule):
+    rule_id = "TL007"
+    name = "thread-confinement"
+    doc = ("no .detach() anywhere in src/ and no raw std::thread/"
+           "std::jthread outside src/service/; the service layer owns its "
+           "worker threads and always joins them")
+
+    # .detach() is banned everywhere in src/ (service included): a detached
+    # thread outlives the rings/metrics it references and cannot be joined
+    # at shutdown, which is exactly how use-after-free races get in.
+    DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+
+    # Matches the std::thread/std::jthread type itself; std::this_thread::*
+    # (sleep/yield helpers) intentionally does not match.
+    THREAD_RE = re.compile(r"\bstd\s*::\s*j?thread\b")
+
+    def applies_to(self, rel):
+        return _under(rel, "src/")
+
+    def check(self, rel, path, stripped):
+        findings = []
+        for m in self.DETACH_RE.finditer(stripped):
+            findings.append((
+                _line_of(stripped, m.start()),
+                "detached threads cannot be joined at shutdown and outlive "
+                "the state they reference; keep the handle and join it"))
+        if not _under(rel, "src/service/"):
+            for m in self.THREAD_RE.finditer(stripped):
+                findings.append((
+                    _line_of(stripped, m.start()),
+                    "raw std::thread outside src/service/; thread ownership "
+                    "is confined to the service layer (Producer/EntropyPool) "
+                    "so every worker is provably joined"))
+        return findings
+
+
 RULES: list[Rule] = [
     NondeterministicRng(),
     FloatType(),
@@ -346,6 +382,7 @@ RULES: list[Rule] = [
     NodiscardResult(),
     TestInclude(),
     PerBitPushBack(),
+    ThreadConfinement(),
 ]
 
 

@@ -39,6 +39,9 @@ EXPECTED = sorted([
     ("src/core/bad_test_include.cpp", "TL005"),
     ("src/core/bad_pushback.cpp", "TL006"),  # reference parameter
     ("src/core/bad_pushback.cpp", "TL006"),  # per-bit loop
+    ("src/core/bad_thread.cpp", "TL007"),    # std::thread construction
+    ("src/core/bad_thread.cpp", "TL007"),    # .detach()
+    ("src/core/bad_thread.cpp", "TL007"),    # std::thread member
     ("src/model/suppressed_bad.cpp", "TL000"),
     ("src/model/dangling_allow.cpp", "TL000"),
 ])
@@ -51,6 +54,7 @@ MUST_BE_CLEAN = [
     "src/model/comment_only.cpp",
     "src/model/suppressed_ok.cpp",
     "src/core/clean.cpp",
+    "src/service/clean_thread.cpp",
 ]
 
 
@@ -97,7 +101,8 @@ def main() -> int:
     rules = subprocess.run(
         [sys.executable, str(LINT), "--list-rules"],
         capture_output=True, text=True)
-    for rule_id in ("TL001", "TL002", "TL003", "TL004", "TL005", "TL006"):
+    for rule_id in ("TL001", "TL002", "TL003", "TL004", "TL005", "TL006",
+                    "TL007"):
         if rule_id not in rules.stdout:
             failures.append(f"--list-rules does not document {rule_id}")
 
