@@ -111,6 +111,40 @@ std::size_t BitStream::count_ones() const {
   return ones;
 }
 
+std::size_t BitStream::count_ones(std::size_t begin,
+                                  std::size_t length) const {
+  if (begin > size_ || length > size_ - begin) {
+    throw std::out_of_range("BitStream::count_ones: range out of bounds");
+  }
+  if (length == 0) return 0;
+  const std::size_t first = begin >> 6;
+  const std::size_t last = (begin + length - 1) >> 6;
+  const unsigned head = static_cast<unsigned>(begin & 63);
+  std::size_t ones = 0;
+  if (first == last) {
+    const std::uint64_t mask = (~0ULL >> (64 - length)) << head;
+    return static_cast<std::size_t>(std::popcount(words_[first] & mask));
+  }
+  ones += static_cast<std::size_t>(std::popcount(words_[first] >> head));
+  for (std::size_t w = first + 1; w < last; ++w) {
+    ones += static_cast<std::size_t>(std::popcount(words_[w]));
+  }
+  const unsigned tail = static_cast<unsigned>((begin + length - 1) & 63) + 1;
+  ones += static_cast<std::size_t>(
+      std::popcount(words_[last] & (~0ULL >> (64 - tail))));
+  return ones;
+}
+
+std::uint64_t BitStream::word_at(std::size_t begin) const {
+  const std::size_t k = begin >> 6;
+  const unsigned off = static_cast<unsigned>(begin & 63);
+  const std::uint64_t lo = k < words_.size() ? words_[k] : 0;
+  const std::uint64_t hi = k + 1 < words_.size() ? words_[k + 1] : 0;
+  // (hi << 1) << (63 - off) == hi << (64 - off) without the off == 0
+  // undefined shift-by-64.
+  return (lo >> off) | ((hi << 1) << (63 - off));
+}
+
 BitStream BitStream::slice(std::size_t begin, std::size_t length) const {
   // Overflow-safe form of `begin + length > size_`: the naive sum wraps for
   // begin/length near SIZE_MAX, silently passing the check and handing

@@ -55,6 +55,17 @@ class BitStream {
   /// Number of one-bits in the whole stream (hardware-popcount per word).
   std::size_t count_ones() const;
 
+  /// Number of one-bits in [begin, begin+length). Throws std::out_of_range
+  /// when the range does not fit (overflow-safe check, like slice()).
+  std::size_t count_ones(std::size_t begin, std::size_t length) const;
+
+  /// The 64 bits starting at bit `begin`, packed LSB-first: bit j of the
+  /// result is stream bit begin+j. Positions at or past size() read as
+  /// zero, so any `begin` is valid — this is the primitive the word-parallel
+  /// statistical kernels use to extract packed L-bit windows at arbitrary
+  /// (unaligned) offsets.
+  std::uint64_t word_at(std::size_t begin) const;
+
   /// Returns the sub-stream [begin, begin+length). Throws std::out_of_range
   /// if the range does not fit.
   BitStream slice(std::size_t begin, std::size_t length) const;

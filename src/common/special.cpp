@@ -1,5 +1,7 @@
 #include "common/special.hpp"
 
+#include <math.h>
+
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -26,9 +28,19 @@ constexpr int kMaxIterations = 10000;
                            ": no convergence after 10000 iterations");
 }
 
+// glibc's lgamma() writes its sign result to the process-global `signgam`,
+// which is a data race when battery jobs evaluate igamc() concurrently on
+// executor threads. The reentrant lgamma_r() returns the identical value
+// and keeps the sign in a caller-local out-parameter; every argument here
+// is positive, so the sign is discarded.
+double lgamma_threadsafe(double x) {
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+}
+
 /// Series expansion for P(a, x), converges fast for x < a + 1.
 double igam_series(double a, double x) {
-  double ax = a * std::log(x) - x - std::lgamma(a);
+  double ax = a * std::log(x) - x - lgamma_threadsafe(a);
   if (ax < -709.78) return 0.0;  // underflow of exp
   ax = std::exp(ax);
 
@@ -47,7 +59,7 @@ double igam_series(double a, double x) {
 
 /// Continued fraction for Q(a, x), converges fast for x >= a + 1.
 double igamc_cfrac(double a, double x) {
-  double ax = a * std::log(x) - x - std::lgamma(a);
+  double ax = a * std::log(x) - x - lgamma_threadsafe(a);
   if (ax < -709.78) return 0.0;
   ax = std::exp(ax);
 
@@ -124,9 +136,9 @@ double chi_square_sf(double x, double df) {
 
 double log_binomial(unsigned n, unsigned k) {
   if (k > n) throw std::domain_error("log_binomial: k > n");
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return lgamma_threadsafe(static_cast<double>(n) + 1.0) -
+         lgamma_threadsafe(static_cast<double>(k) + 1.0) -
+         lgamma_threadsafe(static_cast<double>(n - k) + 1.0);
 }
 
 }  // namespace trng::common

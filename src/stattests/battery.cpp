@@ -1,16 +1,25 @@
 #include "stattests/battery.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "stattests/battery_executor.hpp"
 #include "stattests/sp800_22.hpp"
+#include "stattests/sp800_22_wordpar.hpp"
 
 namespace trng::stat {
 
 bool BatteryReport::all_passed(double alpha) const {
+  // A report with zero applicable tests must not count as passing: the
+  // loop below is vacuously true on it, which historically let callers
+  // accept sequences too short to be tested.
+  bool any_applicable = false;
   for (const auto& r : results) {
-    if (r.applicable && !r.passed(alpha)) return false;
+    if (!r.applicable) continue;
+    any_applicable = true;
+    if (!r.passed(alpha)) return false;
   }
-  return true;
+  return any_applicable;
 }
 
 std::size_t BatteryReport::failed_count(double alpha) const {
@@ -36,23 +45,60 @@ TestBattery::TestBattery(Options options) : options_(options) {
 }
 
 BatteryReport TestBattery::run(const common::BitStream& bits) const {
+  // Fixed test order; the executor stores results by job index, so the
+  // report layout is identical across engines and thread schedules.
+  std::vector<BatteryExecutor::Job> jobs;
+  jobs.reserve(options_.include_slow ? 15 : 9);
+  if (options_.engine == Engine::kScalar) {
+    jobs.push_back([&bits] { return frequency_test(bits); });
+    jobs.push_back([&bits] { return block_frequency_test(bits); });
+    jobs.push_back([&bits] { return runs_test(bits); });
+    jobs.push_back([&bits] { return longest_run_test(bits); });
+    jobs.push_back([&bits] { return cumulative_sums_test(bits); });
+    jobs.push_back([&bits] { return serial_test(bits); });
+    jobs.push_back([&bits] { return approximate_entropy_test(bits); });
+    jobs.push_back([&bits] { return random_excursions_test(bits); });
+    jobs.push_back([&bits] { return random_excursions_variant_test(bits); });
+    if (options_.include_slow) {
+      jobs.push_back([&bits] { return rank_test(bits); });
+      jobs.push_back([&bits] { return dft_test(bits); });
+      jobs.push_back([&bits] { return non_overlapping_template_test(bits); });
+      jobs.push_back([&bits] { return overlapping_template_test(bits); });
+      jobs.push_back([&bits] { return universal_test(bits); });
+      jobs.push_back([&bits] { return linear_complexity_test(bits); });
+    }
+  } else {
+    jobs.push_back([&bits] { return wordpar::frequency_test(bits); });
+    jobs.push_back([&bits] { return wordpar::block_frequency_test(bits); });
+    jobs.push_back([&bits] { return wordpar::runs_test(bits); });
+    jobs.push_back([&bits] { return wordpar::longest_run_test(bits); });
+    jobs.push_back([&bits] { return wordpar::cumulative_sums_test(bits); });
+    jobs.push_back([&bits] { return wordpar::serial_test(bits); });
+    jobs.push_back(
+        [&bits] { return wordpar::approximate_entropy_test(bits); });
+    jobs.push_back([&bits] { return wordpar::random_excursions_test(bits); });
+    jobs.push_back(
+        [&bits] { return wordpar::random_excursions_variant_test(bits); });
+    if (options_.include_slow) {
+      jobs.push_back([&bits] { return wordpar::rank_test(bits); });
+      jobs.push_back([&bits] { return wordpar::dft_test(bits); });
+      jobs.push_back(
+          [&bits] { return wordpar::non_overlapping_template_test(bits); });
+      jobs.push_back(
+          [&bits] { return wordpar::overlapping_template_test(bits); });
+      jobs.push_back([&bits] { return wordpar::universal_test(bits); });
+      jobs.push_back(
+          [&bits] { return wordpar::linear_complexity_test(bits); });
+    }
+  }
+
   BatteryReport report;
-  report.results.push_back(frequency_test(bits));
-  report.results.push_back(block_frequency_test(bits));
-  report.results.push_back(runs_test(bits));
-  report.results.push_back(longest_run_test(bits));
-  report.results.push_back(cumulative_sums_test(bits));
-  report.results.push_back(serial_test(bits));
-  report.results.push_back(approximate_entropy_test(bits));
-  report.results.push_back(random_excursions_test(bits));
-  report.results.push_back(random_excursions_variant_test(bits));
-  if (options_.include_slow) {
-    report.results.push_back(rank_test(bits));
-    report.results.push_back(dft_test(bits));
-    report.results.push_back(non_overlapping_template_test(bits));
-    report.results.push_back(overlapping_template_test(bits));
-    report.results.push_back(universal_test(bits));
-    report.results.push_back(linear_complexity_test(bits));
+  if (options_.engine == Engine::kThreaded) {
+    const BatteryExecutor executor(options_.threads);
+    report.results = executor.run(jobs);
+  } else {
+    report.results.reserve(jobs.size());
+    for (const auto& job : jobs) report.results.push_back(job());
   }
   return report;
 }
@@ -71,6 +117,10 @@ std::optional<unsigned> TestBattery::min_passing_np(const RawSource& source,
   for (unsigned np = 1; np <= max_np; ++np) {
     const common::BitStream raw = source(test_bits * np);
     const BatteryReport report = run(raw.xor_fold(np));
+    // Vacuous reports (zero applicable tests — e.g. a source that returned
+    // far fewer bits than requested) never qualify: all_passed() rejects
+    // them, and the explicit check documents the intent here.
+    if (report.applicable_count() == 0) continue;
     if (report.all_passed(options_.alpha)) return np;
   }
   return std::nullopt;
@@ -85,6 +135,7 @@ std::optional<unsigned> TestBattery::min_passing_np(core::BitSource& source,
   for (unsigned np = 1; np <= max_np; ++np) {
     const common::BitStream raw = source.generate(test_bits * np);
     const BatteryReport report = run(raw.xor_fold(np));
+    if (report.applicable_count() == 0) continue;
     if (report.all_passed(options_.alpha)) return np;
   }
   return std::nullopt;

@@ -1,6 +1,12 @@
 // Battery runner: all fifteen SP 800-22 tests on one sequence, plus the
 // paper's n_NIST search — the minimal XOR compression rate such that the
 // compressed output passes every applicable test (Table 1's n_NIST column).
+//
+// The battery is a two-level parallel engine. Level 1 selects the counting
+// kernels: the bit-serial reference (sp800_22.hpp) or the word-parallel
+// kernels (sp800_22_wordpar.hpp), which are bit-identical by construction.
+// Level 2 optionally schedules the independent tests across a
+// BatteryExecutor thread pool. Every engine produces the same report.
 #pragma once
 
 #include <functional>
@@ -16,6 +22,11 @@ namespace trng::stat {
 struct [[nodiscard]] BatteryReport {
   std::vector<TestResult> results;
 
+  /// True when at least one test was applicable and no applicable test
+  /// failed. A report where nothing ran (e.g. the sequence was too short
+  /// for every test) is NOT a pass — vacuous reports used to count as
+  /// passing, which let min_passing_np accept an n_p whose folded stream
+  /// was too short to be tested at all.
   bool all_passed(double alpha = 0.01) const;
   std::size_t failed_count(double alpha = 0.01) const;
   std::size_t applicable_count() const;
@@ -23,18 +34,30 @@ struct [[nodiscard]] BatteryReport {
 
 class TestBattery {
  public:
+  /// Kernel family / scheduling choice. All engines return bit-identical
+  /// reports (same p-value doubles); see sp800_22_wordpar.hpp.
+  enum class Engine {
+    kScalar,        ///< bit-serial reference kernels, run sequentially
+    kWordParallel,  ///< word-parallel kernels, run sequentially
+    kThreaded,      ///< word-parallel kernels across a BatteryExecutor pool
+  };
+
   struct Options {
     double alpha = 0.01;
     /// Include the heavyweight tests (DFT, linear complexity, universal,
     /// templates). Disable for fast smoke runs.
     bool include_slow = true;
+    Engine engine = Engine::kThreaded;
+    /// Thread-pool size for Engine::kThreaded; 0 = hardware concurrency.
+    unsigned threads = 0;
   };
 
   TestBattery() : TestBattery(Options{}) {}
   explicit TestBattery(Options options);
 
   /// Runs every test on `bits`. Tests whose prerequisites `bits` does not
-  /// meet are reported with applicable = false.
+  /// meet are reported with applicable = false. Results are always in the
+  /// same fixed test order, independent of engine and thread scheduling.
   BatteryReport run(const common::BitStream& bits) const;
 
   /// Draws `nbits` bits from `source` via the batched BitSource contract
@@ -49,7 +72,9 @@ class TestBattery {
   /// The paper's n_NIST: smallest np in [1, max_np] such that the XOR-
   /// compressed output passes all applicable tests. Each candidate np
   /// consumes test_bits * np fresh raw bits. Returns nullopt when even
-  /// max_np fails (Table 1 reports this as "> max_np").
+  /// max_np fails (Table 1 reports this as "> max_np"). A candidate whose
+  /// folded stream is too short for any test (a source returning fewer
+  /// bits than requested) is rejected, never accepted vacuously.
   std::optional<unsigned> min_passing_np(const RawSource& source,
                                          std::size_t test_bits,
                                          unsigned max_np = 16) const;

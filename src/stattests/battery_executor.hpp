@@ -1,0 +1,42 @@
+// Thread-pool scheduler for independent statistical tests.
+//
+// Level 2 of the parallel battery: each SP 800-22 test is an independent
+// pure function of the (shared, read-only) bit sequence, so the battery can
+// run them concurrently. The executor follows the src/service/ threading
+// idioms: workers are plain std::threads that are always joined before
+// run() returns (no detach), results are stored by job index so the output
+// order is deterministic regardless of scheduling, and the only shared
+// mutable state is one atomic work counter plus per-job slots.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "stattests/test_result.hpp"
+
+namespace trng::stat {
+
+class BatteryExecutor {
+ public:
+  using Job = std::function<TestResult()>;
+
+  /// `threads` = pool size; 0 selects std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit BatteryExecutor(unsigned threads = 0);
+
+  /// Runs all jobs and returns their results indexed exactly like `jobs`.
+  /// Workers claim jobs via an atomic counter; every worker is joined
+  /// before this returns, including on failure. If any job threw, the
+  /// exception of the lowest-indexed failing job is rethrown after the
+  /// join. With one job or a one-thread pool the jobs run inline on the
+  /// calling thread.
+  std::vector<TestResult> run(const std::vector<Job>& jobs) const;
+
+  unsigned threads() const { return threads_; }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace trng::stat

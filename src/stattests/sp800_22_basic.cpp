@@ -1,112 +1,61 @@
 // SP 800-22 tests 2.1-2.4 and 2.13: frequency, block frequency, runs,
-// longest run of ones, cumulative sums.
-#include <cmath>
+// longest run of ones, cumulative sums — bit-serial reference kernels.
+//
+// These loops read one bit at a time on purpose: they are the reference
+// implementations the word-parallel kernels (sp800_22_wordpar.cpp) are
+// checked against. All statistic math lives in sp800_22_detail.cpp.
+#include <algorithm>
+#include <cstdlib>
 #include <vector>
 
-#include "common/gaussian.hpp"
-#include "common/special.hpp"
 #include "stattests/sp800_22.hpp"
+#include "stattests/sp800_22_detail.hpp"
 
 namespace trng::stat {
 
-TestResult frequency_test(const common::BitStream& bits) {
-  TestResult r;
-  r.name = "frequency";
+TestResult frequency_test(const common::BitStream& bits, Gating gating) {
   const std::size_t n = bits.size();
-  if (n < 100) {
-    r.applicable = false;
-    r.note = "requires n >= 100";
-    return r;
-  }
-  const double ones = static_cast<double>(bits.count_ones());
-  const double s_n = 2.0 * ones - static_cast<double>(n);  // sum of +-1
-  const double s_obs = std::fabs(s_n) / std::sqrt(static_cast<double>(n));
-  r.p_values.push_back(std::erfc(s_obs / std::sqrt(2.0)));
-  return r;
+  if (auto gated = detail::gate_frequency(n, gating)) return *gated;
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < n; ++i) ones += bits[i] ? 1 : 0;
+  return detail::frequency_from_counts(n, ones);
 }
 
 TestResult block_frequency_test(const common::BitStream& bits,
-                                std::size_t block_len) {
-  TestResult r;
-  r.name = "block_frequency";
+                                std::size_t block_len, Gating gating) {
   const std::size_t n = bits.size();
-  const std::size_t big_n = block_len == 0 ? 0 : n / block_len;
-  if (n < 100 || big_n == 0) {
-    r.applicable = false;
-    r.note = "requires n >= 100 and at least one block";
-    return r;
-  }
-  double chi2 = 0.0;
+  const std::size_t m =
+      block_len == 0 ? detail::block_frequency_auto_m(n) : block_len;
+  if (auto gated = detail::gate_block_frequency(n, m, gating)) return *gated;
+  const std::size_t big_n = n / m;  // partial final block is discarded
+  std::vector<std::size_t> ones_per_block(big_n, 0);
   for (std::size_t b = 0; b < big_n; ++b) {
     std::size_t ones = 0;
-    for (std::size_t j = 0; j < block_len; ++j) {
-      ones += bits[b * block_len + j] ? 1 : 0;
-    }
-    const double pi =
-        static_cast<double>(ones) / static_cast<double>(block_len);
-    chi2 += (pi - 0.5) * (pi - 0.5);
+    for (std::size_t j = 0; j < m; ++j) ones += bits[b * m + j] ? 1 : 0;
+    ones_per_block[b] = ones;
   }
-  chi2 *= 4.0 * static_cast<double>(block_len);
-  r.p_values.push_back(
-      common::igamc(static_cast<double>(big_n) / 2.0, chi2 / 2.0));
-  return r;
+  return detail::block_frequency_from_counts(m, ones_per_block);
 }
 
-TestResult runs_test(const common::BitStream& bits) {
-  TestResult r;
-  r.name = "runs";
+TestResult runs_test(const common::BitStream& bits, Gating gating) {
   const std::size_t n = bits.size();
-  if (n < 100) {
-    r.applicable = false;
-    r.note = "requires n >= 100";
-    return r;
-  }
-  const double pi = bits.ones_fraction();
-  const double tau = 2.0 / std::sqrt(static_cast<double>(n));
-  if (std::fabs(pi - 0.5) >= tau) {
-    // Frequency prerequisite failed: the spec assigns p = 0.
-    r.p_values.push_back(0.0);
-    r.note = "monobit prerequisite failed";
-    return r;
-  }
-  std::size_t v_n = 1;
+  if (auto gated = detail::gate_runs(n, gating)) return *gated;
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < n; ++i) ones += bits[i] ? 1 : 0;
+  std::size_t transitions = 0;
   for (std::size_t k = 0; k + 1 < n; ++k) {
-    if (bits[k] != bits[k + 1]) ++v_n;
+    if (bits[k] != bits[k + 1]) ++transitions;
   }
-  const double nn = static_cast<double>(n);
-  const double num = std::fabs(static_cast<double>(v_n) - 2.0 * nn * pi * (1.0 - pi));
-  const double den = 2.0 * std::sqrt(2.0 * nn) * pi * (1.0 - pi);
-  r.p_values.push_back(std::erfc(num / den));
-  return r;
+  return detail::runs_from_counts(n, ones, transitions);
 }
 
 TestResult longest_run_test(const common::BitStream& bits) {
-  TestResult r;
-  r.name = "longest_run";
   const std::size_t n = bits.size();
-  if (n < 128) {
-    r.applicable = false;
-    r.note = "requires n >= 128";
-    return r;
-  }
-  std::size_t block_len;
-  std::vector<unsigned> thresholds;  // category boundaries (inclusive low)
-  std::vector<double> pi;
-  if (n < 6272) {
-    block_len = 8;
-    thresholds = {1, 2, 3, 4};  // <=1, 2, 3, >=4
-    pi = {0.2148, 0.3672, 0.2305, 0.1875};
-  } else if (n < 750000) {
-    block_len = 128;
-    thresholds = {4, 5, 6, 7, 8, 9};  // <=4 .. >=9
-    pi = {0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124};
-  } else {
-    block_len = 10000;
-    thresholds = {10, 11, 12, 13, 14, 15, 16};  // <=10 .. >=16
-    pi = {0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727};
-  }
+  if (auto gated = detail::gate_longest_run(n)) return *gated;
+  const auto regime = detail::longest_run_regime(n);
+  const std::size_t block_len = regime->block_len;
   const std::size_t big_n = n / block_len;
-  std::vector<std::size_t> v(pi.size(), 0);
+  std::vector<unsigned> per_block(big_n, 0);
   for (std::size_t b = 0; b < big_n; ++b) {
     unsigned longest = 0;
     unsigned run = 0;
@@ -118,57 +67,14 @@ TestResult longest_run_test(const common::BitStream& bits) {
         run = 0;
       }
     }
-    // Map the longest run to its category.
-    std::size_t cat = 0;
-    while (cat + 1 < thresholds.size() && longest > thresholds[cat]) ++cat;
-    if (longest >= thresholds.back()) cat = thresholds.size() - 1;
-    ++v[cat];
+    per_block[b] = longest;
   }
-  double chi2 = 0.0;
-  for (std::size_t i = 0; i < pi.size(); ++i) {
-    const double expected = static_cast<double>(big_n) * pi[i];
-    const double d = static_cast<double>(v[i]) - expected;
-    chi2 += d * d / expected;
-  }
-  const double k = static_cast<double>(pi.size() - 1);
-  r.p_values.push_back(common::igamc(k / 2.0, chi2 / 2.0));
-  return r;
+  return detail::longest_run_from_counts(*regime, big_n, per_block);
 }
 
-namespace {
-
-/// Cumulative-sums p-value for maximum partial-sum excursion z over n bits.
-double cusum_p_value(double z, double n) {
-  const double sqrt_n = std::sqrt(n);
-  double p = 1.0;
-  const long k_lo1 = static_cast<long>(std::floor((-n / z + 1.0) / 4.0));
-  const long k_hi1 = static_cast<long>(std::floor((n / z - 1.0) / 4.0));
-  for (long k = k_lo1; k <= k_hi1; ++k) {
-    const double kk = static_cast<double>(k);
-    p -= common::normal_cdf((4.0 * kk + 1.0) * z / sqrt_n) -
-         common::normal_cdf((4.0 * kk - 1.0) * z / sqrt_n);
-  }
-  const long k_lo2 = static_cast<long>(std::floor((-n / z - 3.0) / 4.0));
-  const long k_hi2 = static_cast<long>(std::floor((n / z - 1.0) / 4.0));
-  for (long k = k_lo2; k <= k_hi2; ++k) {
-    const double kk = static_cast<double>(k);
-    p += common::normal_cdf((4.0 * kk + 3.0) * z / sqrt_n) -
-         common::normal_cdf((4.0 * kk + 1.0) * z / sqrt_n);
-  }
-  return std::min(1.0, std::max(0.0, p));
-}
-
-}  // namespace
-
-TestResult cumulative_sums_test(const common::BitStream& bits) {
-  TestResult r;
-  r.name = "cumulative_sums";
+TestResult cumulative_sums_test(const common::BitStream& bits, Gating gating) {
   const std::size_t n = bits.size();
-  if (n < 100) {
-    r.applicable = false;
-    r.note = "requires n >= 100";
-    return r;
-  }
+  if (auto gated = detail::gate_cusum(n, gating)) return *gated;
   long s = 0;
   long max_fwd = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -181,10 +87,7 @@ TestResult cumulative_sums_test(const common::BitStream& bits) {
     s_b += bits[i] ? 1 : -1;
     max_bwd = std::max(max_bwd, std::labs(s_b));
   }
-  const double nn = static_cast<double>(n);
-  r.p_values.push_back(cusum_p_value(static_cast<double>(max_fwd), nn));
-  r.p_values.push_back(cusum_p_value(static_cast<double>(max_bwd), nn));
-  return r;
+  return detail::cusum_from_extrema(n, max_fwd, max_bwd);
 }
 
 }  // namespace trng::stat

@@ -1,9 +1,10 @@
-// SP 800-22 test 2.10: linear complexity (Berlekamp–Massey over GF(2)).
-#include <cmath>
+// SP 800-22 test 2.10: linear complexity (Berlekamp–Massey over GF(2)) —
+// bit-serial reference kernel. The mu / T / chi-square math lives in
+// sp800_22_detail.cpp.
 #include <vector>
 
-#include "common/special.hpp"
 #include "stattests/sp800_22.hpp"
+#include "stattests/sp800_22_detail.hpp"
 
 namespace trng::stat {
 
@@ -41,54 +42,20 @@ std::size_t berlekamp_massey(const std::vector<bool>& block) {
 
 TestResult linear_complexity_test(const common::BitStream& bits,
                                   std::size_t block_len) {
-  TestResult r;
-  r.name = "linear_complexity";
   const std::size_t n = bits.size();
-  if (block_len < 500 || block_len > 5000) {
-    r.applicable = false;
-    r.note = "spec requires 500 <= M <= 5000";
-    return r;
+  if (auto gated = detail::gate_linear_complexity(n, block_len)) {
+    return *gated;
   }
   const std::size_t big_n = n / block_len;
-  if (big_n < 200) {
-    r.applicable = false;
-    r.note = "requires at least 200 blocks";
-    return r;
-  }
-
-  const double m = static_cast<double>(block_len);
-  const double sign = (block_len % 2 == 0) ? 1.0 : -1.0;  // (-1)^M
-  const double mu = m / 2.0 + (9.0 - sign) / 36.0 -
-                    (m / 3.0 + 2.0 / 9.0) / std::exp2(m);
-
-  static constexpr double kPi[7] = {0.010417, 0.03125, 0.125, 0.5,
-                                    0.25, 0.0625, 0.020833};
-  std::vector<std::size_t> v(7, 0);
+  std::vector<std::size_t> lengths(big_n, 0);
   std::vector<bool> block(block_len);
   for (std::size_t b = 0; b < big_n; ++b) {
     for (std::size_t j = 0; j < block_len; ++j) {
       block[j] = bits[b * block_len + j];
     }
-    const double l = static_cast<double>(berlekamp_massey(block));
-    const double t = sign * (l - mu) + 2.0 / 9.0;
-    std::size_t cat;
-    if (t <= -2.5) cat = 0;
-    else if (t <= -1.5) cat = 1;
-    else if (t <= -0.5) cat = 2;
-    else if (t <= 0.5) cat = 3;
-    else if (t <= 1.5) cat = 4;
-    else if (t <= 2.5) cat = 5;
-    else cat = 6;
-    ++v[cat];
+    lengths[b] = berlekamp_massey(block);
   }
-  double chi2 = 0.0;
-  for (std::size_t i = 0; i < 7; ++i) {
-    const double expected = static_cast<double>(big_n) * kPi[i];
-    const double d = static_cast<double>(v[i]) - expected;
-    chi2 += d * d / expected;
-  }
-  r.p_values.push_back(common::igamc(3.0, chi2 / 2.0));
-  return r;
+  return detail::linear_complexity_from_lengths(block_len, lengths);
 }
 
 }  // namespace trng::stat

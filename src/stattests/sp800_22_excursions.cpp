@@ -1,33 +1,29 @@
 // SP 800-22 tests 2.14 and 2.15: random excursions and random excursions
-// variant.
-#include <cmath>
-#include <cstdlib>
-#include <vector>
+// variant — bit-serial reference kernels. The chi-square / erfc math lives
+// in sp800_22_detail.cpp.
+#include <algorithm>
+#include <array>
 
-#include "common/special.hpp"
 #include "stattests/sp800_22.hpp"
+#include "stattests/sp800_22_detail.hpp"
 
 namespace trng::stat {
 
 TestResult random_excursions_test(const common::BitStream& bits) {
-  TestResult r;
-  r.name = "random_excursions";
   const std::size_t n = bits.size();
-  if (n < 10000) {
-    r.applicable = false;
-    r.note = "requires n >= 10^4";
-    return r;
+  if (auto gated = detail::gate_excursions(n, "random_excursions")) {
+    return *gated;
   }
 
   // Walk the partial sums; a cycle is a zero-to-zero excursion.
   // visits[state+4][k] = number of cycles visiting `state` exactly k times
   // (k capped at 5). States: -4..-1, 1..4.
-  std::size_t visits[8][6] = {};
-  std::size_t cycle_visits[8] = {};
+  std::array<std::array<std::size_t, 6>, 8> visits{};
+  std::array<std::size_t, 8> cycle_visits{};
   std::size_t cycles = 0;
 
   auto close_cycle = [&]() {
-    for (int s = 0; s < 8; ++s) {
+    for (std::size_t s = 0; s < 8; ++s) {
       const std::size_t k = std::min<std::size_t>(cycle_visits[s], 5);
       ++visits[s][k];
       cycle_visits[s] = 0;
@@ -43,51 +39,20 @@ TestResult random_excursions_test(const common::BitStream& bits) {
     } else if (walk >= -4 && walk <= 4) {
       const int idx = walk < 0 ? static_cast<int>(walk) + 4
                                : static_cast<int>(walk) + 3;
-      ++cycle_visits[idx];
+      ++cycle_visits[static_cast<std::size_t>(idx)];
     }
   }
   if (walk != 0) close_cycle();  // final partial cycle counts per the spec
 
-  const double j = static_cast<double>(cycles);
-  if (cycles < 500) {
-    r.applicable = false;
-    r.note = "fewer than 500 zero-crossing cycles";
-    return r;
-  }
-
-  for (int s = 0; s < 8; ++s) {
-    const int x = s < 4 ? s - 4 : s - 3;
-    const double ax = std::abs(x);
-    // Reference visit-count probabilities pi_k(x).
-    double pi[6];
-    pi[0] = 1.0 - 1.0 / (2.0 * ax);
-    for (int k = 1; k <= 4; ++k) {
-      pi[k] = 1.0 / (4.0 * ax * ax) *
-              std::pow(1.0 - 1.0 / (2.0 * ax), k - 1);
-    }
-    pi[5] = 1.0 / (2.0 * ax) * std::pow(1.0 - 1.0 / (2.0 * ax), 4.0);
-
-    double chi2 = 0.0;
-    for (int k = 0; k < 6; ++k) {
-      const double expected = j * pi[k];
-      const double d = static_cast<double>(visits[s][k]) - expected;
-      chi2 += d * d / expected;
-    }
-    r.p_values.push_back(common::igamc(5.0 / 2.0, chi2 / 2.0));
-  }
-  return r;
+  return detail::excursions_from_counts(cycles, visits);
 }
 
 TestResult random_excursions_variant_test(const common::BitStream& bits) {
-  TestResult r;
-  r.name = "random_excursions_variant";
   const std::size_t n = bits.size();
-  if (n < 10000) {
-    r.applicable = false;
-    r.note = "requires n >= 10^4";
-    return r;
+  if (auto gated = detail::gate_excursions(n, "random_excursions_variant")) {
+    return *gated;
   }
-  std::size_t total_visits[19] = {};  // states -9..9 (index x+9)
+  std::array<std::size_t, 19> total_visits{};  // states -9..9 (index x+9)
   std::size_t cycles = 0;
   long walk = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -95,24 +60,11 @@ TestResult random_excursions_variant_test(const common::BitStream& bits) {
     if (walk == 0) {
       ++cycles;
     } else if (walk >= -9 && walk <= 9) {
-      ++total_visits[walk + 9];
+      ++total_visits[static_cast<std::size_t>(walk + 9)];
     }
   }
   if (walk != 0) ++cycles;
-  if (cycles < 500) {
-    r.applicable = false;
-    r.note = "fewer than 500 zero-crossing cycles";
-    return r;
-  }
-  const double j = static_cast<double>(cycles);
-  for (int x = -9; x <= 9; ++x) {
-    if (x == 0) continue;
-    const double xi = static_cast<double>(total_visits[x + 9]);
-    const double denom =
-        std::sqrt(2.0 * j * (4.0 * std::abs(x) - 2.0));
-    r.p_values.push_back(std::erfc(std::fabs(xi - j) / denom));
-  }
-  return r;
+  return detail::excursions_variant_from_counts(cycles, total_visits);
 }
 
 }  // namespace trng::stat

@@ -1,9 +1,10 @@
-// SP 800-22 test 2.5: binary matrix rank.
-#include <cmath>
+// SP 800-22 test 2.5: binary matrix rank — bit-serial reference kernel.
+// The category chi-square math lives in sp800_22_detail.cpp.
 #include <cstdint>
 #include <vector>
 
 #include "stattests/sp800_22.hpp"
+#include "stattests/sp800_22_detail.hpp"
 
 namespace trng::stat {
 
@@ -35,22 +36,10 @@ int gf2_rank(std::vector<std::uint64_t> rows, int dim) {
 }
 
 TestResult rank_test(const common::BitStream& bits) {
-  TestResult r;
-  r.name = "rank";
+  if (auto gated = detail::gate_rank(bits.size())) return *gated;
   constexpr std::size_t kM = 32;  // square matrix dimension
   constexpr std::size_t kBitsPerMatrix = kM * kM;
   const std::size_t big_n = bits.size() / kBitsPerMatrix;
-  if (big_n < 38) {
-    r.applicable = false;
-    r.note = "requires at least 38 32x32 matrices (n >= 38912)";
-    return r;
-  }
-
-  // Reference category probabilities for 32x32 over GF(2): rank 32, 31,
-  // <= 30 (SP 800-22 Section 3.5).
-  constexpr double kPFull = 0.2888;
-  constexpr double kPMinus1 = 0.5776;
-  constexpr double kPRest = 0.1336;
 
   std::size_t f_full = 0, f_minus1 = 0;
   std::vector<std::uint64_t> rows(kM);
@@ -69,18 +58,7 @@ TestResult rank_test(const common::BitStream& bits) {
       ++f_minus1;
     }
   }
-  const double nn = static_cast<double>(big_n);
-  const std::size_t f_rest = big_n - f_full - f_minus1;
-  auto term = [nn](double observed, double p) {
-    const double d = observed - nn * p;
-    return d * d / (nn * p);
-  };
-  const double chi2 = term(static_cast<double>(f_full), kPFull) +
-                      term(static_cast<double>(f_minus1), kPMinus1) +
-                      term(static_cast<double>(f_rest), kPRest);
-  // df = 2 => p = exp(-chi2 / 2).
-  r.p_values.push_back(std::exp(-chi2 / 2.0));
-  return r;
+  return detail::rank_from_counts(big_n, f_full, f_minus1);
 }
 
 }  // namespace trng::stat

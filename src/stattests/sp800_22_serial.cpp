@@ -1,17 +1,18 @@
-// SP 800-22 tests 2.11 and 2.12: serial and approximate entropy. Both use
-// overlapping m-bit pattern counts with cyclic wrap-around.
-#include <cmath>
+// SP 800-22 tests 2.11 and 2.12: serial and approximate entropy — bit-serial
+// reference kernels. Both use overlapping m-bit pattern counts with cyclic
+// wrap-around; the psi^2 / phi / p-value math lives in sp800_22_detail.cpp.
 #include <vector>
 
-#include "common/special.hpp"
 #include "stattests/sp800_22.hpp"
+#include "stattests/sp800_22_detail.hpp"
 
 namespace trng::stat {
 
 namespace {
 
-/// Counts of all overlapping m-bit patterns with cyclic extension.
-/// Returns empty vector for m == 0 (psi^2_0 = 0 by definition).
+/// Counts of all overlapping m-bit patterns with cyclic extension, indexed
+/// by the MSB-first pattern value. Returns empty vector for m == 0
+/// (psi^2_0 = 0 by definition).
 std::vector<std::size_t> pattern_counts(const common::BitStream& bits,
                                         unsigned m) {
   if (m == 0) return {};
@@ -32,65 +33,32 @@ std::vector<std::size_t> pattern_counts(const common::BitStream& bits,
 }
 
 double psi_squared(const common::BitStream& bits, unsigned m) {
-  if (m == 0) return 0.0;
-  const auto counts = pattern_counts(bits, m);
-  const double n = static_cast<double>(bits.size());
-  double sum = 0.0;
-  for (std::size_t c : counts) {
-    sum += static_cast<double>(c) * static_cast<double>(c);
-  }
-  return std::exp2(static_cast<double>(m)) / n * sum - n;
+  return detail::psi_squared_from_counts(bits.size(),
+                                         pattern_counts(bits, m));
 }
 
 }  // namespace
 
-TestResult serial_test(const common::BitStream& bits, unsigned m) {
-  TestResult r;
-  r.name = "serial";
+TestResult serial_test(const common::BitStream& bits, unsigned m,
+                       Gating gating) {
   const std::size_t n = bits.size();
-  if (m < 2 || m > 24 ||
-      static_cast<double>(m) >= std::log2(static_cast<double>(n)) - 2.0) {
-    r.applicable = false;
-    r.note = "requires 2 <= m < log2(n) - 2";
-    return r;
-  }
+  if (auto gated = detail::gate_serial(n, m, gating)) return *gated;
   const double psi_m = psi_squared(bits, m);
   const double psi_m1 = psi_squared(bits, m - 1);
   const double psi_m2 = psi_squared(bits, m - 2);
-  const double d1 = psi_m - psi_m1;
-  const double d2 = psi_m - 2.0 * psi_m1 + psi_m2;
-  r.p_values.push_back(common::igamc(std::exp2(m - 2), d1 / 2.0));
-  r.p_values.push_back(common::igamc(std::exp2(m - 3), d2 / 2.0));
-  return r;
+  return detail::serial_from_psis(m, psi_m, psi_m1, psi_m2);
 }
 
-TestResult approximate_entropy_test(const common::BitStream& bits,
-                                    unsigned m) {
-  TestResult r;
-  r.name = "approximate_entropy";
+TestResult approximate_entropy_test(const common::BitStream& bits, unsigned m,
+                                    Gating gating) {
   const std::size_t n = bits.size();
-  if (m < 1 || m > 22 ||
-      static_cast<double>(m) >= std::log2(static_cast<double>(n)) - 5.0) {
-    r.applicable = false;
-    r.note = "requires 1 <= m < log2(n) - 5";
-    return r;
+  if (auto gated = detail::gate_approximate_entropy(n, m, gating)) {
+    return *gated;
   }
-  const double nn = static_cast<double>(n);
-  auto phi = [&](unsigned mm) {
-    const auto counts = pattern_counts(bits, mm);
-    double sum = 0.0;
-    for (std::size_t c : counts) {
-      if (c > 0) {
-        const double pi = static_cast<double>(c) / nn;
-        sum += pi * std::log(pi);
-      }
-    }
-    return sum;
-  };
-  const double ap_en = phi(m) - phi(m + 1);
-  const double chi2 = 2.0 * nn * (std::log(2.0) - ap_en);
-  r.p_values.push_back(common::igamc(std::exp2(m - 1), chi2 / 2.0));
-  return r;
+  const double phi_m = detail::phi_from_counts(n, pattern_counts(bits, m));
+  const double phi_m1 =
+      detail::phi_from_counts(n, pattern_counts(bits, m + 1));
+  return detail::approximate_entropy_from_phis(n, m, phi_m, phi_m1);
 }
 
 }  // namespace trng::stat

@@ -1,11 +1,13 @@
 // SP 800-22 tests 2.7 and 2.8: non-overlapping and overlapping template
-// matching.
-#include <cmath>
+// matching — bit-serial reference kernels. The mu/sigma^2 and chi-square
+// math lives in sp800_22_detail.cpp.
+#include <algorithm>
+#include <array>
 #include <stdexcept>
 #include <vector>
 
-#include "common/special.hpp"
 #include "stattests/sp800_22.hpp"
+#include "stattests/sp800_22_detail.hpp"
 
 namespace trng::stat {
 
@@ -31,35 +33,22 @@ std::vector<std::uint32_t> aperiodic_templates(unsigned m) {
 
 TestResult non_overlapping_template_test(const common::BitStream& bits,
                                          unsigned tpl_len) {
-  TestResult r;
-  r.name = "non_overlapping_template";
   const std::size_t n = bits.size();
+  if (auto gated = detail::gate_non_overlapping_template(n, tpl_len)) {
+    return *gated;
+  }
   constexpr std::size_t kBlocks = 8;  // N
   const std::size_t block_len = n / kBlocks;
-  // The chi-square approximation needs a healthy per-block expectation
-  // mu = (M - m + 1) / 2^m; require mu >= 20 per block.
-  if (tpl_len < 2 || tpl_len > 16 ||
-      block_len < (std::size_t{20} << tpl_len) + tpl_len) {
-    r.applicable = false;
-    r.note = "sequence too short for stable per-block statistics";
-    return r;
-  }
-  const double m = static_cast<double>(tpl_len);
-  const double big_m = static_cast<double>(block_len);
-  const double two_m = std::exp2(m);
-  const double mu = (big_m - m + 1.0) / two_m;
-  const double sigma2 =
-      big_m * (1.0 / two_m - (2.0 * m - 1.0) / (two_m * two_m));
-
   const auto templates = aperiodic_templates(tpl_len);
   const std::uint32_t window_mask = (1u << tpl_len) - 1u;
 
   // Count per-template, per-block occurrences in one pass per block: slide
   // a tpl_len-bit window; a match consumes the window (non-overlapping).
-  for (std::uint32_t tpl : templates) {
-    double chi2 = 0.0;
+  std::vector<std::array<std::size_t, kBlocks>> w(templates.size());
+  for (std::size_t t = 0; t < templates.size(); ++t) {
+    const std::uint32_t tpl = templates[t];
     for (std::size_t b = 0; b < kBlocks; ++b) {
-      std::size_t w = 0;
+      std::size_t count = 0;
       std::size_t pos = b * block_len;
       const std::size_t end = pos + block_len;
       std::uint32_t window = 0;
@@ -72,37 +61,29 @@ TestResult non_overlapping_template_test(const common::BitStream& bits,
           continue;
         }
         if (window == tpl) {
-          ++w;
+          ++count;
           window = 0;
           fill = 0;  // restart after a match (non-overlapping)
         }
       }
-      const double d = static_cast<double>(w) - mu;
-      chi2 += d * d / sigma2;
+      w[t][b] = count;
     }
-    r.p_values.push_back(
-        common::igamc(static_cast<double>(kBlocks) / 2.0, chi2 / 2.0));
   }
-  return r;
+  return detail::non_overlapping_template_from_counts(n, tpl_len, w);
 }
 
 TestResult overlapping_template_test(const common::BitStream& bits,
                                      unsigned tpl_len) {
-  TestResult r;
-  r.name = "overlapping_template";
   const std::size_t n = bits.size();
   // Reference parameterization: m = 9, M = 1032, lambda = 2 (the pi table
-  // below is exact for these values; other m are rejected as inapplicable).
+  // in the detail layer is exact for these values; other m are rejected as
+  // inapplicable).
+  if (auto gated = detail::gate_overlapping_template(n, tpl_len)) {
+    return *gated;
+  }
   constexpr std::size_t kBlockLen = 1032;
   const std::size_t big_n = n / kBlockLen;
-  if (tpl_len != 9 || big_n < 100) {
-    r.applicable = false;
-    r.note = "requires m = 9 and n >= ~10^5";
-    return r;
-  }
-  static constexpr double kPi[6] = {0.364091, 0.185659, 0.139381,
-                                    0.100571, 0.070432, 0.139865};
-  std::vector<std::size_t> v(6, 0);
+  std::array<std::size_t, 6> v{};
   for (std::size_t b = 0; b < big_n; ++b) {
     std::size_t count = 0;
     unsigned run = 0;
@@ -116,14 +97,7 @@ TestResult overlapping_template_test(const common::BitStream& bits,
     }
     v[std::min<std::size_t>(count, 5)]++;
   }
-  double chi2 = 0.0;
-  for (std::size_t i = 0; i < 6; ++i) {
-    const double expected = static_cast<double>(big_n) * kPi[i];
-    const double d = static_cast<double>(v[i]) - expected;
-    chi2 += d * d / expected;
-  }
-  r.p_values.push_back(common::igamc(5.0 / 2.0, chi2 / 2.0));
-  return r;
+  return detail::overlapping_template_from_counts(big_n, v);
 }
 
 }  // namespace trng::stat

@@ -1,45 +1,22 @@
-// SP 800-22 test 2.9: Maurer's "universal statistical" test.
+// SP 800-22 test 2.9: Maurer's "universal statistical" test — bit-serial
+// reference kernel. The L-selection table and the fn -> p-value math live
+// in sp800_22_detail.cpp.
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "stattests/sp800_22.hpp"
+#include "stattests/sp800_22_detail.hpp"
 
 namespace trng::stat {
 
-TestResult universal_test(const common::BitStream& bits) {
-  TestResult r;
-  r.name = "universal";
-  const std::size_t n = bits.size();
+namespace {
 
-  // L selection table (SP 800-22 Section 2.9.4) and the corresponding
-  // reference expected values / variances for random input.
-  struct LRow {
-    std::size_t min_n;
-    unsigned L;
-    double expected;
-    double variance;
-  };
-  static constexpr LRow kRows[] = {
-      {387840, 6, 5.2177052, 2.954},     {904960, 7, 6.1962507, 3.125},
-      {2068480, 8, 7.1836656, 3.238},    {4654080, 9, 8.1764248, 3.311},
-      {10342400, 10, 9.1723243, 3.356},  {22753280, 11, 10.170032, 3.384},
-      {49643520, 12, 11.168765, 3.401},
-  };
-  const LRow* row = nullptr;
-  for (const auto& candidate : kRows) {
-    if (n >= candidate.min_n) row = &candidate;
-  }
-  if (row == nullptr) {
-    r.applicable = false;
-    r.note = "requires n >= 387840";
-    return r;
-  }
-  const unsigned big_l = row->L;
-  const std::size_t q = 10u * (1u << big_l);  // initialization blocks
-  const std::size_t blocks = n / big_l;
-  const std::size_t k = blocks - q;  // test blocks
-
-  std::vector<std::size_t> last_seen(1u << big_l, 0);
+/// Accumulated log2 distance sum over the K test blocks (Section 2.9.4),
+/// reading each L-bit block MSB-first one bit at a time.
+double distance_log_sum(const common::BitStream& bits, unsigned big_l,
+                        std::size_t q, std::size_t blocks) {
+  std::vector<std::size_t> last_seen(std::size_t{1} << big_l, 0);
   auto block_value = [&](std::size_t b) {
     std::size_t v = 0;
     for (unsigned j = 0; j < big_l; ++j) {
@@ -48,23 +25,44 @@ TestResult universal_test(const common::BitStream& bits) {
     return v;
   };
   for (std::size_t b = 0; b < q; ++b) last_seen[block_value(b)] = b + 1;
-
   double sum = 0.0;
   for (std::size_t b = q; b < blocks; ++b) {
     const std::size_t v = block_value(b);
     sum += std::log2(static_cast<double>(b + 1 - last_seen[v]));
     last_seen[v] = b + 1;
   }
-  const double fn = sum / static_cast<double>(k);
+  return sum;
+}
 
-  const double kk = static_cast<double>(k);
-  const double c = 0.7 - 0.8 / static_cast<double>(big_l) +
-                   (4.0 + 32.0 / static_cast<double>(big_l)) *
-                       std::pow(kk, -3.0 / static_cast<double>(big_l)) / 15.0;
-  const double sigma = c * std::sqrt(row->variance / kk);
-  r.p_values.push_back(
-      std::erfc(std::fabs(fn - row->expected) / (std::sqrt(2.0) * sigma)));
-  return r;
+}  // namespace
+
+TestResult universal_test(const common::BitStream& bits) {
+  const std::size_t n = bits.size();
+  if (auto gated = detail::gate_universal(n)) return *gated;
+  const detail::UniversalRow* row = detail::universal_row(n);
+  const unsigned big_l = row->big_l;
+  const std::size_t q = std::size_t{10} << big_l;  // initialization blocks
+  const std::size_t blocks = n / big_l;
+  const std::size_t k = blocks - q;  // test blocks
+  const double sum = distance_log_sum(bits, big_l, q, blocks);
+  return detail::universal_from_sum(*row, sum, k);
+}
+
+UniversalStatistic universal_statistic(const common::BitStream& bits,
+                                       unsigned big_l, std::size_t q,
+                                       double expected, double variance) {
+  if (big_l == 0 || big_l > 16) {
+    throw std::invalid_argument("universal_statistic: L must be in [1, 16]");
+  }
+  const std::size_t blocks = bits.size() / big_l;
+  if (blocks <= q) {
+    throw std::invalid_argument(
+        "universal_statistic: need more than Q complete blocks");
+  }
+  const std::size_t k = blocks - q;
+  const double sum = distance_log_sum(bits, big_l, q, blocks);
+  return detail::universal_statistic_from_sum(sum, k, big_l, expected,
+                                              variance);
 }
 
 }  // namespace trng::stat

@@ -1,0 +1,62 @@
+// Word-parallel SP 800-22 kernels.
+//
+// Every function here mirrors the signature and semantics of its scalar
+// counterpart in sp800_22.hpp but counts over BitStream::words() instead of
+// reading one bit at a time: popcount for frequency/block-frequency,
+// `w ^ (w >> 1)` transition masks for runs, byte lookup tables and chunk
+// combining for longest-run/cumulative-sums, skip-ahead walks for the
+// excursions tests, packed L-bit window extraction (BitStream::word_at) for
+// serial/approximate-entropy/universal/templates, and a word-packed
+// Berlekamp–Massey for linear complexity.
+//
+// Contract: for any input the returned TestResult is bit-identical to the
+// scalar version — same p-value doubles, same applicable flag, same note.
+// The kernels only produce integer counts; the floating-point statistic is
+// computed by the shared functions in sp800_22_detail.cpp, so equality of
+// counts implies equality of p-values. The equivalence suite
+// (tests/test_battery_equivalence.cpp) checks this for every registered
+// source; lint rule TL008 requires the same for any kernel added later.
+#pragma once
+
+#include "common/bitstream.hpp"
+#include "stattests/sp800_22.hpp"
+#include "stattests/test_result.hpp"
+
+namespace trng::stat::wordpar {
+
+TestResult frequency_test(const common::BitStream& bits,
+                          Gating gating = Gating::kStrict);
+TestResult block_frequency_test(const common::BitStream& bits,
+                                std::size_t block_len = 0,
+                                Gating gating = Gating::kStrict);
+TestResult runs_test(const common::BitStream& bits,
+                     Gating gating = Gating::kStrict);
+TestResult longest_run_test(const common::BitStream& bits);
+TestResult rank_test(const common::BitStream& bits);
+/// The DFT has no word-parallel form (the FFT dominates, already O(n log n)
+/// on doubles); this forwards to the scalar test.
+TestResult dft_test(const common::BitStream& bits);
+TestResult non_overlapping_template_test(const common::BitStream& bits,
+                                         unsigned tpl_len = 9);
+TestResult overlapping_template_test(const common::BitStream& bits,
+                                     unsigned tpl_len = 9);
+TestResult universal_test(const common::BitStream& bits);
+TestResult linear_complexity_test(const common::BitStream& bits,
+                                  std::size_t block_len = 500);
+TestResult serial_test(const common::BitStream& bits, unsigned m = 16,
+                       Gating gating = Gating::kStrict);
+TestResult approximate_entropy_test(const common::BitStream& bits,
+                                    unsigned m = 10,
+                                    Gating gating = Gating::kStrict);
+TestResult cumulative_sums_test(const common::BitStream& bits,
+                                Gating gating = Gating::kStrict);
+TestResult random_excursions_test(const common::BitStream& bits);
+TestResult random_excursions_variant_test(const common::BitStream& bits);
+
+/// Word-packed Berlekamp–Massey over bits [begin, begin + len): linear
+/// complexity of the block, identical to stat::berlekamp_massey on the same
+/// bits (helper, exposed for unit testing).
+std::size_t berlekamp_massey_words(const common::BitStream& bits,
+                                   std::size_t begin, std::size_t len);
+
+}  // namespace trng::stat::wordpar

@@ -1,0 +1,10 @@
+// TL008 fixture: two word-parallel kernels, one covered by the fixture
+// equivalence suite (tests/fixture_equivalence.cpp), one not.
+#pragma once
+
+namespace trng::stat::wordpar {
+
+int covered_kernel(int n);
+int uncovered_kernel(int n);
+
+}  // namespace trng::stat::wordpar

@@ -81,6 +81,32 @@ TEST(TestBattery, BiasedDataFailsMultipleTests) {
   EXPECT_GE(report.failed_count(), 2u);
 }
 
+TEST(TestBattery, VacuousReportDoesNotPass) {
+  // Headline regression: a report where every test is inapplicable (the
+  // stream is too short for any of them) used to satisfy all_passed()
+  // vacuously. It must not count as a pass.
+  TestBattery battery;
+  const auto report = battery.run(random_bits(50, 2));
+  EXPECT_EQ(report.applicable_count(), 0u);
+  EXPECT_EQ(report.failed_count(), 0u);
+  EXPECT_FALSE(report.all_passed());
+
+  BatteryReport empty;
+  EXPECT_FALSE(empty.all_passed());
+}
+
+TEST(TestBattery, MinPassingNpRejectsVacuousCandidates) {
+  // A broken source that ignores the requested count and always returns
+  // ~50 bits: every folded candidate is too short for any test, so the
+  // n_NIST search must return nullopt instead of accepting np = 1 on a
+  // report where nothing ran.
+  TestBattery::Options opt;
+  opt.include_slow = false;
+  TestBattery battery(opt);
+  auto source = [](std::size_t) { return random_bits(50, 3); };
+  EXPECT_EQ(battery.min_passing_np(source, 30000, 4), std::nullopt);
+}
+
 TEST(TestBattery, MinPassingNpFindsCompressionRate) {
   // A source with bias 0.25: b_pp(np) = 2^(np-1) * 0.25^np; np = 3 gives
   // bias 0.0156 — still detectable on 60k bits; np = 4 gives 0.0039.

@@ -1,0 +1,201 @@
+// The word-parallel battery's correctness contract: for any input, every
+// wordpar:: kernel returns a TestResult bit-identical to its scalar
+// reference — same p-value doubles, same applicable flag, same note — and
+// the threaded engine returns the same report as the sequential ones.
+// This suite checks the contract over every source in core/source_registry
+// plus degenerate and non-default-parameter inputs; lint rule TL008 keeps
+// it in sync with the kernel list.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/source_registry.hpp"
+#include "fpga/fabric.hpp"
+#include "stattests/battery.hpp"
+#include "stattests/sp800_22.hpp"
+#include "stattests/sp800_22_wordpar.hpp"
+
+namespace trng::stat {
+namespace {
+
+common::BitStream random_bits(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256StarStar rng(seed);
+  common::BitStream b;
+  b.reserve(n + 64);
+  for (std::size_t w = 0; w < n / 64 + 1; ++w) b.append_bits(rng.next(), 64);
+  return b.slice(0, n);
+}
+
+// Exact equality across the board: doubles compared with ==, not a
+// tolerance. The wordpar kernels only change how integer counts are
+// produced, so any FP difference is a bug.
+void expect_identical(const TestResult& ref, const TestResult& got) {
+  EXPECT_EQ(ref.name, got.name);
+  EXPECT_EQ(ref.applicable, got.applicable);
+  EXPECT_EQ(ref.note, got.note);
+  ASSERT_EQ(ref.p_values.size(), got.p_values.size());
+  for (std::size_t j = 0; j < ref.p_values.size(); ++j) {
+    EXPECT_EQ(ref.p_values[j], got.p_values[j]) << "p_values[" << j << "]";
+  }
+}
+
+void expect_identical(const BatteryReport& ref, const BatteryReport& got) {
+  ASSERT_EQ(ref.results.size(), got.results.size());
+  for (std::size_t i = 0; i < ref.results.size(); ++i) {
+    SCOPED_TRACE(ref.results[i].name);
+    expect_identical(ref.results[i], got.results[i]);
+  }
+}
+
+BatteryReport run_engine(const common::BitStream& bits,
+                         TestBattery::Engine engine, unsigned threads = 0) {
+  TestBattery::Options opt;
+  opt.engine = engine;
+  opt.threads = threads;
+  return TestBattery(opt).run(bits);
+}
+
+void expect_engines_agree(const common::BitStream& bits) {
+  const auto scalar = run_engine(bits, TestBattery::Engine::kScalar);
+  expect_identical(scalar,
+                   run_engine(bits, TestBattery::Engine::kWordParallel));
+  expect_identical(scalar,
+                   run_engine(bits, TestBattery::Engine::kThreaded, 4));
+}
+
+TEST(BatteryEquivalence, EveryRegistrySource) {
+  // 128 Kibit per source: every test applicable except universal (needs
+  // 387840 bits — covered by LongStreamCoversUniversal below).
+  const fpga::Fabric fabric(fpga::DeviceGeometry{}, 42);
+  for (const auto& factory : core::canonical_sources(fabric)) {
+    SCOPED_TRACE(factory.id);
+    auto source = factory.make(7);
+    expect_engines_agree(source->generate(131072));
+  }
+}
+
+TEST(BatteryEquivalence, LongStreamCoversUniversal) {
+  const auto bits = random_bits(450000, 20260806);
+  const auto scalar = run_engine(bits, TestBattery::Engine::kScalar);
+  bool universal_applicable = false;
+  for (const auto& r : scalar.results) {
+    if (r.name == "universal") universal_applicable = r.applicable;
+  }
+  EXPECT_TRUE(universal_applicable);
+  expect_identical(universal_test(bits), wordpar::universal_test(bits));
+  expect_identical(scalar,
+                   run_engine(bits, TestBattery::Engine::kWordParallel));
+  expect_identical(scalar,
+                   run_engine(bits, TestBattery::Engine::kThreaded, 4));
+}
+
+TEST(BatteryEquivalence, DegenerateStreams) {
+  // Empty, sub-word, word-boundary and all-ones inputs: the kernels'
+  // head/tail masking and the gates' inapplicable notes must match the
+  // scalar reference exactly.
+  expect_engines_agree(common::BitStream{});
+  for (const std::size_t n : {1u, 63u, 64u, 65u, 100u, 1000u, 4096u}) {
+    SCOPED_TRACE(n);
+    expect_engines_agree(random_bits(n, n));
+  }
+  common::BitStream ones;
+  for (int i = 0; i < 4096; ++i) ones.push_back(true);
+  expect_engines_agree(ones);
+}
+
+TEST(BatteryEquivalence, NonDefaultParameters) {
+  // The battery always runs the defaults; exercise each parameterized
+  // kernel's off-default paths directly.
+  const auto bits = random_bits(131072, 99);
+  expect_identical(block_frequency_test(bits, 4096),
+                   wordpar::block_frequency_test(bits, 4096));
+  expect_identical(serial_test(bits, 5), wordpar::serial_test(bits, 5));
+  expect_identical(serial_test(bits, 2), wordpar::serial_test(bits, 2));
+  expect_identical(approximate_entropy_test(bits, 7),
+                   wordpar::approximate_entropy_test(bits, 7));
+  expect_identical(linear_complexity_test(bits, 1000),
+                   wordpar::linear_complexity_test(bits, 1000));
+  expect_identical(non_overlapping_template_test(bits, 8),
+                   wordpar::non_overlapping_template_test(bits, 8));
+  expect_identical(overlapping_template_test(bits, 9),
+                   wordpar::overlapping_template_test(bits, 9));
+}
+
+TEST(BatteryEquivalence, SpecExampleGating) {
+  const auto bits = random_bits(100, 5);
+  expect_identical(frequency_test(bits, Gating::kSpecExample),
+                   wordpar::frequency_test(bits, Gating::kSpecExample));
+  expect_identical(block_frequency_test(bits, 10, Gating::kSpecExample),
+                   wordpar::block_frequency_test(bits, 10,
+                                                 Gating::kSpecExample));
+  expect_identical(runs_test(bits, Gating::kSpecExample),
+                   wordpar::runs_test(bits, Gating::kSpecExample));
+  expect_identical(cumulative_sums_test(bits, Gating::kSpecExample),
+                   wordpar::cumulative_sums_test(bits, Gating::kSpecExample));
+  expect_identical(serial_test(bits, 3, Gating::kSpecExample),
+                   wordpar::serial_test(bits, 3, Gating::kSpecExample));
+  expect_identical(
+      approximate_entropy_test(bits, 3, Gating::kSpecExample),
+      wordpar::approximate_entropy_test(bits, 3, Gating::kSpecExample));
+}
+
+TEST(BatteryEquivalence, BerlekampMasseyWords) {
+  const auto bits = random_bits(5000, 11);
+  for (const std::size_t begin : {0u, 1u, 63u, 64u, 100u}) {
+    for (const std::size_t len : {1u, 2u, 64u, 129u, 500u, 1000u}) {
+      SCOPED_TRACE(begin);
+      SCOPED_TRACE(len);
+      std::vector<bool> block;
+      block.reserve(len);
+      for (std::size_t i = 0; i < len; ++i) block.push_back(bits[begin + i]);
+      EXPECT_EQ(berlekamp_massey(block),
+                wordpar::berlekamp_massey_words(bits, begin, len));
+    }
+  }
+  // Degenerate blocks: all zeros (L = 0) and a single trailing one.
+  common::BitStream zeros;
+  for (int i = 0; i < 200; ++i) zeros.push_back(false);
+  EXPECT_EQ(wordpar::berlekamp_massey_words(zeros, 0, 200), 0u);
+  zeros.push_back(true);
+  std::vector<bool> trailing_one(201, false);
+  trailing_one[200] = true;
+  EXPECT_EQ(wordpar::berlekamp_massey_words(zeros, 0, 201),
+            berlekamp_massey(trailing_one));
+}
+
+TEST(BatteryEquivalence, FrequencyAndRunsAtWordBoundaries) {
+  // Transition counting straddles word boundaries; sweep lengths around
+  // multiples of 64 with patterned data to pin the boundary-pair logic.
+  for (std::size_t n = 120; n <= 200; ++n) {
+    common::BitStream alt;
+    for (std::size_t i = 0; i < n; ++i) alt.push_back((i / 3) % 2 == 0);
+    expect_identical(runs_test(alt, Gating::kSpecExample),
+                     wordpar::runs_test(alt, Gating::kSpecExample));
+    expect_identical(frequency_test(alt, Gating::kSpecExample),
+                     wordpar::frequency_test(alt, Gating::kSpecExample));
+    expect_identical(cumulative_sums_test(alt, Gating::kSpecExample),
+                     wordpar::cumulative_sums_test(alt, Gating::kSpecExample));
+  }
+}
+
+TEST(BatteryEquivalence, LongestRunAndRankKernels) {
+  const auto bits = random_bits(40000, 17);
+  expect_identical(longest_run_test(bits), wordpar::longest_run_test(bits));
+  const auto big = random_bits(40000, 18);
+  expect_identical(rank_test(big), wordpar::rank_test(big));
+  expect_identical(dft_test(big), wordpar::dft_test(big));
+}
+
+TEST(BatteryEquivalence, ExcursionsKernels) {
+  const auto bits = random_bits(200000, 23);
+  expect_identical(random_excursions_test(bits),
+                   wordpar::random_excursions_test(bits));
+  expect_identical(random_excursions_variant_test(bits),
+                   wordpar::random_excursions_variant_test(bits));
+}
+
+}  // namespace
+}  // namespace trng::stat

@@ -1,0 +1,101 @@
+// BatteryExecutor scheduling tests: deterministic result ordering,
+// exception propagation, and the inline single-thread path. These suites
+// (BatteryExecutor*) are the ones the tsan-battery CI preset runs under
+// ThreadSanitizer with halt_on_error=1.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stattests/battery_executor.hpp"
+
+namespace trng::stat {
+namespace {
+
+TestResult result_named(const std::string& name) {
+  TestResult r;
+  r.name = name;
+  r.p_values = {0.5};
+  return r;
+}
+
+TEST(BatteryExecutor, EmptyJobListReturnsEmpty) {
+  const BatteryExecutor executor(4);
+  EXPECT_TRUE(executor.run({}).empty());
+}
+
+TEST(BatteryExecutor, DefaultSizeUsesHardwareConcurrency) {
+  const BatteryExecutor executor(0);
+  EXPECT_GE(executor.threads(), 1u);
+  const BatteryExecutor fixed(3);
+  EXPECT_EQ(fixed.threads(), 3u);
+}
+
+TEST(BatteryExecutor, ResultsKeepJobOrder) {
+  // Jobs deliberately finish out of submission order (later jobs are
+  // cheaper); the result vector must still be indexed by job, not by
+  // completion time.
+  std::vector<BatteryExecutor::Job> jobs;
+  for (int i = 0; i < 32; ++i) {
+    jobs.push_back([i] {
+      volatile double sink = 0.0;
+      for (int k = 0; k < (32 - i) * 10000; ++k) sink = sink + k;
+      return result_named("job" + std::to_string(i));
+    });
+  }
+  const BatteryExecutor executor(4);
+  const auto results = executor.run(jobs);
+  ASSERT_EQ(results.size(), 32u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].name,
+              "job" + std::to_string(i));
+  }
+}
+
+TEST(BatteryExecutor, SingleThreadRunsInline) {
+  std::vector<BatteryExecutor::Job> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back([i] { return result_named(std::to_string(i)); });
+  }
+  const BatteryExecutor executor(1);
+  const auto results = executor.run(jobs);
+  ASSERT_EQ(results.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].name, std::to_string(i));
+  }
+}
+
+TEST(BatteryExecutor, EveryJobRunsExactlyOnce) {
+  std::atomic<int> calls{0};
+  std::vector<BatteryExecutor::Job> jobs(
+      100, [&calls] {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        return TestResult{};
+      });
+  const BatteryExecutor executor(7);
+  EXPECT_EQ(executor.run(jobs).size(), 100u);
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(BatteryExecutor, RethrowsLowestIndexError) {
+  std::vector<BatteryExecutor::Job> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back([i]() -> TestResult {
+      if (i == 3) throw std::runtime_error("job3 failed");
+      if (i == 6) throw std::runtime_error("job6 failed");
+      return result_named(std::to_string(i));
+    });
+  }
+  const BatteryExecutor executor(4);
+  try {
+    executor.run(jobs);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job3 failed");
+  }
+}
+
+}  // namespace
+}  // namespace trng::stat

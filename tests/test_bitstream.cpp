@@ -180,6 +180,45 @@ TEST(BitStream, AppendWordsIgnoresGarbageAboveNbits) {
   EXPECT_TRUE(bs == BitStream::from_string(std::string(73, '1')));
 }
 
+TEST(BitStream, RangedCountOnesMatchesBitLoop) {
+  Xoshiro256StarStar rng(9);
+  BitStream bs;
+  for (int w = 0; w < 4; ++w) bs.append_bits(rng.next(), 64);
+  bs = bs.slice(0, 237);  // odd tail
+  for (const std::size_t begin : {0u, 1u, 63u, 64u, 65u, 200u, 237u}) {
+    for (const std::size_t length : {0u, 1u, 37u, 64u, 128u, 237u}) {
+      if (begin + length > bs.size()) continue;
+      std::size_t expected = 0;
+      for (std::size_t i = 0; i < length; ++i) expected += bs[begin + i];
+      EXPECT_EQ(bs.count_ones(begin, length), expected)
+          << begin << "+" << length;
+    }
+  }
+  EXPECT_THROW(bs.count_ones(0, 238), std::out_of_range);
+  EXPECT_THROW(bs.count_ones(238, 0), std::out_of_range);
+  EXPECT_THROW(bs.count_ones(1, std::numeric_limits<std::size_t>::max()),
+               std::out_of_range);
+}
+
+TEST(BitStream, WordAtExtractsUnalignedWindows) {
+  Xoshiro256StarStar rng(10);
+  BitStream bs;
+  for (int w = 0; w < 3; ++w) bs.append_bits(rng.next(), 64);
+  bs = bs.slice(0, 150);
+  for (std::size_t begin = 0; begin <= 150; ++begin) {
+    std::uint64_t expected = 0;
+    for (unsigned j = 0; j < 64; ++j) {
+      const std::size_t i = begin + j;
+      if (i < bs.size() && bs[i]) expected |= std::uint64_t{1} << j;
+    }
+    EXPECT_EQ(bs.word_at(begin), expected) << "begin " << begin;
+  }
+  // Past-the-end reads are defined and zero.
+  EXPECT_EQ(bs.word_at(150), 0u);
+  EXPECT_EQ(bs.word_at(1000), 0u);
+  EXPECT_EQ(BitStream{}.word_at(0), 0u);
+}
+
 TEST(BitStream, FromWords) {
   const BitStream bs = BitStream::from_words({0b101, 0b011}, 3);
   EXPECT_EQ(bs.to_string(), "101110");  // LSB-first per word

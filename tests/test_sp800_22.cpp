@@ -71,16 +71,33 @@ TEST(BlockFrequency, PassesRandom) {
 
 TEST(BlockFrequency, CatchesBlockwiseBias) {
   // Globally balanced but blockwise extreme: 128 ones then 128 zeros...
+  // M = 128 on n = 12032 satisfies the 2.2.7 recommendations (M >= 20,
+  // M > 0.01 n = 120.32, N = 94 < 100) and aligns with the bias period.
   common::BitStream b;
-  for (int block = 0; block < 1000; ++block) {
+  for (int block = 0; block < 94; ++block) {
     for (int j = 0; j < 128; ++j) b.push_back(block % 2 == 0);
   }
   EXPECT_TRUE(frequency_test(b).passed());  // monobit cannot see it
-  EXPECT_FALSE(block_frequency_test(b).passed());
+  EXPECT_FALSE(block_frequency_test(b, 128).passed());
 }
 
 TEST(BlockFrequency, InapplicableWhenTooShort) {
   EXPECT_FALSE(block_frequency_test(constant_bits(50, true)).applicable);
+}
+
+TEST(BlockFrequency, RejectsOutOfRangeBlockLength) {
+  // Section 2.2.7: M >= 20, M > 0.01 n, N = n / M < 100. Out-of-range
+  // explicit block lengths are inapplicable under strict gating...
+  const auto bits = random_bits();  // n ~ 1.1e6, so 0.01 n ~ 11000
+  EXPECT_FALSE(block_frequency_test(bits, 10).applicable);    // M < 20
+  EXPECT_FALSE(block_frequency_test(bits, 1024).applicable);  // M <= 0.01 n
+  EXPECT_TRUE(block_frequency_test(bits, 16384).applicable);
+  // ...while the auto-selected M (block_len = 0) always satisfies them.
+  EXPECT_TRUE(block_frequency_test(bits).applicable);
+  // kSpecExample bypasses the recommendations so the Section 2.2.8 worked
+  // example (M = 10, n = 100) can run.
+  EXPECT_TRUE(
+      block_frequency_test(bits, 10, Gating::kSpecExample).applicable);
 }
 
 // ---- 2.3 runs ------------------------------------------------------------

@@ -46,6 +46,15 @@ have historically gone silently wrong:
       removed. Genuinely bit-serial algorithms (ASCII parsers, von
       Neumann rejection) carry a justified suppression.
 
+  TL008 kernel-equivalence-test
+      Every kernel declared in a `wordpar` namespace in a header under
+      src/stattests/ must be exercised by name in a tests/ file whose
+      filename contains "equivalence". The word-parallel battery's whole
+      correctness story is bit-identity with the scalar reference
+      (tests/test_battery_equivalence.cpp); a kernel that nothing
+      compares against its reference is an unchecked rewrite of a
+      statistical test.
+
 Suppressions
 ------------
 A finding is suppressed by a marker on the same line or the line
@@ -375,6 +384,62 @@ class ThreadConfinement(Rule):
         return findings
 
 
+class KernelEquivalenceTest(Rule):
+    rule_id = "TL008"
+    name = "kernel-equivalence-test"
+    doc = ("every kernel declared in a wordpar namespace in a header under "
+           "src/stattests/ must be called by name in a tests/ file whose "
+           "name contains 'equivalence' (the scalar-reference bit-identity "
+           "suite)")
+
+    NAMESPACE_RE = re.compile(
+        r"\bnamespace\s+(?:trng\s*::\s*stat\s*::\s*)?wordpar\b")
+    # A declaration line: return type(s), then the kernel name, then its
+    # parameter list. Anchored to line starts so parameter continuation
+    # lines do not match.
+    DECL_RE = re.compile(
+        r"^\s*(?:[\w:]+(?:\s*[&*])?\s+)+([a-z_]\w*)\s*\(", re.MULTILINE)
+
+    def __init__(self) -> None:
+        self._corpus_cache: dict[pathlib.Path, str] = {}
+
+    def applies_to(self, rel):
+        return _under(rel, "src/stattests/") and rel.suffix == ".hpp"
+
+    def _equivalence_corpus(self, root: pathlib.Path) -> str:
+        cached = self._corpus_cache.get(root)
+        if cached is None:
+            texts = []
+            tests = root / "tests"
+            if tests.is_dir():
+                for p in sorted(tests.rglob("*")):
+                    if (p.is_file() and p.suffix in SOURCE_SUFFIXES
+                            and "equivalence" in p.name):
+                        texts.append(
+                            p.read_text(encoding="utf-8", errors="replace"))
+            cached = "\n".join(texts)
+            self._corpus_cache[root] = cached
+        return cached
+
+    def check(self, rel, path, stripped):
+        ns = self.NAMESPACE_RE.search(stripped)
+        if not ns:
+            return []
+        root = path.parents[len(rel.parts) - 1]
+        corpus = self._equivalence_corpus(root)
+        findings = []
+        for m in self.DECL_RE.finditer(stripped, ns.end()):
+            name = m.group(1)
+            if re.search(r"\b" + re.escape(name) + r"\s*\(", corpus):
+                continue
+            findings.append((
+                _line_of(stripped, m.start(1)),
+                f"word-parallel kernel '{name}' is never exercised by any "
+                f"tests/*equivalence* file; add it to the scalar-reference "
+                f"equivalence suite"))
+        return findings
+
+
 RULES: list[Rule] = [
     NondeterministicRng(),
     FloatType(),
@@ -383,6 +448,7 @@ RULES: list[Rule] = [
     TestInclude(),
     PerBitPushBack(),
     ThreadConfinement(),
+    KernelEquivalenceTest(),
 ]
 
 
