@@ -69,7 +69,7 @@ int main() {
     p.accumulation_cycles = na;
     core::CarryChainTrng trng(fabric, p, 55,
                               sim::NoiseConfig::white_only());
-    return trng.generate_raw(bits).ones_fraction();
+    return trng.generate_raw(trng::common::Bits{bits}).ones_fraction();
   };
   const double tdc_inf = tdc_p1(64);
   std::optional<Cycles> tdc_pass;
@@ -83,7 +83,7 @@ int main() {
   auto elem_p1 = [&](Cycles na) {
     core::ElementaryTrng trng(platform.d0_lut_ps, platform.sigma_lut_ps, na,
                               77);
-    return trng.generate(bits).ones_fraction();
+    return trng.generate(trng::common::Bits{bits}).ones_fraction();
   };
   const double elem_inf = elem_p1(200000);
   std::optional<Cycles> elem_pass;

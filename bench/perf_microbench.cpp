@@ -62,7 +62,7 @@ void BM_TrngBatchedBits(benchmark::State& state) {
   constexpr std::size_t kBits = 256;
   std::uint64_t words[(kBits + 63) / 64];
   for (auto _ : state) {
-    trng.generate_into(words, kBits);
+    trng.generate_into(words, trng::common::Bits{kBits});
     benchmark::DoNotOptimize(words[0]);
   }
   state.SetItemsProcessed(state.iterations() *
@@ -205,7 +205,7 @@ ThroughputRow measure_source(const std::string& id, core::BitSource& scalar,
   std::vector<std::uint64_t> words((nbits + 63) / 64);
   // One untimed pass per path warms caches and generator state.
   scalar.next_bit();
-  batched.generate_into(words.data(), std::min<std::size_t>(nbits, 64));
+  batched.generate_into(words.data(), trng::common::Bits{std::min<std::size_t>(nbits, 64)});
 
   ThroughputRow row;
   row.id = id;
@@ -218,7 +218,7 @@ ThroughputRow measure_source(const std::string& id, core::BitSource& scalar,
       nbits, repeats);
   row.batched_ns_per_bit = min_chunk_ns_per_bit(
       [&](std::size_t n) {
-        batched.generate_into(words.data(), n);
+        batched.generate_into(words.data(), trng::common::Bits{n});
         benchmark::DoNotOptimize(words[0]);
       },
       nbits, repeats);
@@ -254,10 +254,10 @@ double measure_pool_draw(std::size_t producers, double pace_bits_per_s,
                          std::size_t nbits) {
   service::PoolConfig cfg;
   cfg.producers = producers;
-  cfg.producer.block_bits = 4096;
+  cfg.producer.block_bits = common::Bits{4096};
   cfg.producer.h_per_bit = 0.05;  // wide open: measure serving, not gating
   cfg.producer.pace_bits_per_s = pace_bits_per_s;
-  cfg.ring_capacity_words = 1 << 12;
+  cfg.ring_capacity_words = common::Words{1 << 12};
 
   service::EntropyPool pool(
       [](std::size_t index,
@@ -276,7 +276,7 @@ double measure_pool_draw(std::size_t producers, double pace_bits_per_s,
   pool.start();
   for (std::size_t drawn = 0; drawn < total_words;) {
     const std::size_t want = std::min(chunk.size(), total_words - drawn);
-    drawn += pool.draw(chunk.data(), want);
+    drawn += pool.draw(chunk.data(), common::Words{want}).count();
     benchmark::DoNotOptimize(chunk[0]);
   }
   const auto t1 = std::chrono::steady_clock::now();

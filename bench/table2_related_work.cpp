@@ -28,7 +28,7 @@ const char* screen_verdict(core::BitSource& source, std::size_t bits) {
   stat::TestBattery::Options opt;
   opt.include_slow = false;
   stat::TestBattery battery(opt);
-  const auto report = battery.run(source, bits);
+  const auto report = battery.run(source, trng::common::Bits{bits});
   return report.all_passed() ? "passes screen" : "fails screen";
 }
 

@@ -1,8 +1,9 @@
-# Static-analysis ctest targets: the TRNG invariant linter and the
-# clang-tidy sweep. Registered at the top level so they run in every build
-# tree (including sanitizer trees), independent of TRNG_BUILD_TESTS.
+# Static-analysis ctest targets: the TRNG invariant linter, the semantic
+# analyzer and the clang-tidy sweep. Registered at the top level so they
+# run in every build tree (including sanitizer trees), independent of
+# TRNG_BUILD_TESTS.
 #
-#   ctest -L lint   # trng_lint whole-repo run + linter self-test
+#   ctest -L lint   # trng_lint + semantic analyzer runs and self-tests
 #   ctest -L tidy   # clang-tidy over src/ (skips when clang-tidy is absent)
 
 find_package(Python3 COMPONENTS Interpreter QUIET)
@@ -23,6 +24,23 @@ add_test(NAME trng_lint.selftest
   COMMAND ${Python3_EXECUTABLE}
           ${CMAKE_SOURCE_DIR}/tools/trng_lint_selftest.py)
 set_tests_properties(trng_lint.selftest PROPERTIES LABELS "lint")
+
+# Semantic analyzer (SA rules): compile_commands.json from this build tree
+# feeds per-TU flags to the libclang frontend when the bindings are
+# installed; the dependency-free lite frontend covers every other host, so
+# these two never skip.
+add_test(NAME trng_analyzer.repo
+  COMMAND ${Python3_EXECUTABLE}
+          ${CMAKE_SOURCE_DIR}/tools/analyzer/analyze.py
+          --root ${CMAKE_SOURCE_DIR} -p ${CMAKE_BINARY_DIR})
+set_tests_properties(trng_analyzer.repo PROPERTIES LABELS "lint")
+
+add_test(NAME trng_analyzer.selftest
+  COMMAND ${Python3_EXECUTABLE}
+          ${CMAKE_SOURCE_DIR}/tools/analyzer/selftest.py)
+set_tests_properties(trng_analyzer.selftest PROPERTIES
+  LABELS "lint"
+  SKIP_RETURN_CODE 77)
 
 # Exit code 77 is the conventional "skip" sentinel: the runner reports the
 # test as skipped (not failed) on hosts without clang-tidy.

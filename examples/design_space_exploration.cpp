@@ -74,7 +74,7 @@ int main() {
   std::size_t budget = common::env_size("TRNG_EXAMPLE_BITS", 100000);
   if (budget < 20000) budget = 20000;
   stat::TestBattery battery;
-  const auto final_np = battery.min_passing_np(trng, budget, np + 8);
+  const auto final_np = battery.min_passing_np(trng, common::Bits{budget}, np + 8);
   if (final_np) {
     std::printf("Step 4 - SP 800-22 measured minimum: np=%u "
                 "(model predicted %u)\n", *final_np, np);

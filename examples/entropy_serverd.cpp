@@ -36,10 +36,10 @@ int main() {
 
   service::PoolConfig cfg;
   cfg.producers = producers;
-  cfg.producer.block_bits = 4096;
+  cfg.producer.block_bits = common::Bits{4096};
   cfg.producer.h_per_bit = 0.95;  // gate at the paper's output-entropy bar
   cfg.producer.pace_bits_per_s = static_cast<double>(pace);
-  cfg.ring_capacity_words = 1 << 12;
+  cfg.ring_capacity_words = common::Words{1 << 12};
 
   // Every producer elaborates its own simulated die (distinct process
   // variation) and heads its own deterministic reseed-epoch seed stream.
@@ -66,7 +66,8 @@ int main() {
       while (drawn < per_consumer) {
         const std::size_t want =
             std::min(chunk.size(), per_consumer - drawn);
-        const std::size_t got = pool.draw(chunk.data(), want);
+        const std::size_t got =
+            pool.draw(chunk.data(), common::Words{want}).count();
         drawn += got;
         if (got < want) break;  // pool stopped
       }

@@ -69,11 +69,11 @@ int main(int argc, char** argv) {
   for (std::size_t done = 0; done < budget;) {
     const std::size_t n = budget - done < kBlockBits ? budget - done
                                                      : kBlockBits;
-    compressed.generate_into(block.data(), n);
+    compressed.generate_into(block.data(), trng::common::Bits{n});
     // In hardware the extractor's edge_found flag feeds the total-failure
     // test directly; no missed edges occur at m = 36, so feed_block's
     // edge_found=true matches the datapath.
-    const std::uint64_t block_alarms = monitor.feed_block(block.data(), n);
+    const std::uint64_t block_alarms = monitor.feed_block(block.data(), trng::common::Bits{n});
     alarms += block_alarms;
     if (block_alarms == 0) {
       counters.blocks_admitted.fetch_add(1);

@@ -37,7 +37,7 @@ int main() {
               trng.resources().slices, trng.throughput_bps() / 1.0e6);
 
   // 3. Generate post-processed output (batched through the BitSource layer).
-  const auto bits = trng.generate(budget);
+  const auto bits = trng.generate(trng::common::Bits{budget});
   std::printf("generated %zu bits; ones fraction %.4f\n", bits.size(),
               bits.ones_fraction());
   std::printf("plug-in Shannon entropy (4-bit blocks): %.4f per bit\n",
@@ -67,7 +67,7 @@ int main() {
   for (const auto& factory : core::canonical_sources(fabric)) {
     auto source = factory.make(/*seed=*/1);
     const core::SourceInfo info = source->info();
-    const auto stream = source->generate(sample);
+    const auto stream = source->generate(trng::common::Bits{sample});
     std::printf("  %-12s %-28s %8.2f Mb/s  ones %.3f\n", factory.id.c_str(),
                 info.name.c_str(), info.throughput_bps / 1.0e6,
                 stream.ones_fraction());

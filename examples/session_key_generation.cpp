@@ -60,8 +60,8 @@ int main() {
     // words (health tests watch the post-processed stream — the raw
     // stream's structural bias is expected and budgeted by np).
     std::uint64_t words[2] = {0, 0};
-    source->generate_into(words, 128);
-    const bool healthy = monitor.feed_block(words, 128) == 0;
+    source->generate_into(words, trng::common::Bits{128});
+    const bool healthy = monitor.feed_block(words, trng::common::Bits{128}) == 0;
     std::printf("key %d: %016llx%016llx  [health: %s]\n", key,
                 static_cast<unsigned long long>(words[1]),
                 static_cast<unsigned long long>(words[0]),

@@ -27,22 +27,25 @@ class BaselineTrng : public BitSource {
  public:
   bool next_bit() override = 0;
 
-  void generate_into(std::uint64_t* words, std::size_t nbits) override {
+  void generate_into(std::uint64_t* words, common::Bits nbits) override {
     // Accumulate each word in a register and store it once: per-bit |= into
     // `words` would read-modify-write memory the compiler cannot keep in a
     // register across the virtual next_bit() call. Bits at or above `nbits`
     // in the final word stay zero.
     // The pack is branchless because the bit is ~50/50 by design — a
     // conditional OR would mispredict every other call.
+    const std::size_t n = nbits.count();
     std::uint64_t word = 0;
-    for (std::size_t i = 0; i < nbits; ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       word |= static_cast<std::uint64_t>(next_bit()) << (i & 63);
       if ((i & 63) == 63) {
         words[i >> 6] = word;
         word = 0;
       }
     }
-    if ((nbits & 63) != 0) words[nbits >> 6] = word;
+    if (common::bit_offset(nbits) != 0) {
+      words[common::word_index(nbits).count()] = word;
+    }
   }
 };
 

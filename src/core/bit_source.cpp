@@ -4,13 +4,13 @@
 
 namespace trng::core {
 
-common::BitStream BitSource::generate(std::size_t count) {
+common::BitStream BitSource::generate(common::Bits count) {
   common::BitStream bits;
-  if (count == 0) return bits;
+  if (count.is_zero()) return bits;
   // One batched fill, then a word-level append: no per-bit push_back.
-  std::vector<std::uint64_t> buf((count + 63) / 64, 0);
+  std::vector<std::uint64_t> buf(common::bits_to_words(count).count(), 0);
   generate_into(buf.data(), count);
-  bits.append_words(buf.data(), count);
+  bits.append_words(buf.data(), count.count());
   return bits;
 }
 

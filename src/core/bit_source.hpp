@@ -19,6 +19,7 @@
 #include <string>
 
 #include "common/bitstream.hpp"
+#include "common/units.hpp"
 
 namespace trng::core {
 
@@ -40,9 +41,11 @@ class BitSource {
 
   /// Fills `nbits` bits into `words`, packed LSB-first (bit i lands at
   /// words[i >> 6] bit (i & 63)). `words` must hold at least
-  /// (nbits + 63) / 64 words; bits above `nbits` in the final word are
-  /// zeroed. This is the primary contract — implement it batched.
-  virtual void generate_into(std::uint64_t* words, std::size_t nbits) = 0;
+  /// bits_to_words(nbits) words; bits above `nbits` in the final word are
+  /// zeroed. This is the primary contract — implement it batched. The
+  /// count is strongly typed (common::Bits): a word count cannot be
+  /// passed here without an explicit, visible conversion.
+  virtual void generate_into(std::uint64_t* words, common::Bits nbits) = 0;
 
   /// Identity and headline throughput/resource figures.
   virtual SourceInfo info() const = 0;
@@ -51,7 +54,7 @@ class BitSource {
   /// generators may override it as their primary path instead.
   virtual bool next_bit() {
     std::uint64_t w = 0;
-    generate_into(&w, 1);
+    generate_into(&w, common::Bits{1});
     return (w & 1ULL) != 0;
   }
 
@@ -60,7 +63,7 @@ class BitSource {
   /// generators with a different container-level convention (e.g. the
   /// carry-chain TRNG's post-processed generate()) hide it by name rather
   /// than override it.
-  common::BitStream generate(std::size_t count);
+  common::BitStream generate(common::Bits count);
 };
 
 }  // namespace trng::core

@@ -50,22 +50,25 @@ bool ElementaryTrng::next_bit() {
   return (toggles % 2) == 0;
 }
 
-void ElementaryTrng::generate_into(std::uint64_t* words, std::size_t nbits) {
+void ElementaryTrng::generate_into(std::uint64_t* words, common::Bits nbits) {
   // Both branches accumulate each output word in a register and store it
   // once (per-bit |= into `words` would read-modify-write memory every
   // bit); bits at or above `nbits` in the final word stay zero.
   // The packs below are branchless (bool shifted into place): the bit is
   // ~50/50 by design, so a conditional OR would mispredict constantly.
+  const std::size_t n = nbits.count();
   std::uint64_t word = 0;
   if (mode_ == Mode::kEventDriven) {
-    for (std::size_t i = 0; i < nbits; ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       word |= static_cast<std::uint64_t>(next_bit()) << (i & 63);
       if ((i & 63) == 63) {
         words[i >> 6] = word;
         word = 0;
       }
     }
-    if ((nbits & 63) != 0) words[nbits >> 6] = word;
+    if (common::bit_offset(nbits) != 0) {
+      words[common::word_index(nbits).count()] = word;
+    }
     return;
   }
   // Analytic kernel, word-packed. sigma_acc and t_acc are pure functions
@@ -76,7 +79,7 @@ void ElementaryTrng::generate_into(std::uint64_t* words, std::size_t nbits) {
   const Picoseconds t_acc = accumulation_time_ps();
   const Picoseconds d0 = d0_;
   common::Xoshiro256StarStar rng = rng_;
-  for (std::size_t i = 0; i < nbits; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const Picoseconds jitter = sigma_acc * rng.next_gaussian();
     const double phase = (t_acc - jitter) / d0;
     const auto toggles =
@@ -87,7 +90,9 @@ void ElementaryTrng::generate_into(std::uint64_t* words, std::size_t nbits) {
       word = 0;
     }
   }
-  if ((nbits & 63) != 0) words[nbits >> 6] = word;
+  if (common::bit_offset(nbits) != 0) {
+    words[common::word_index(nbits).count()] = word;
+  }
   rng_ = rng;
 }
 

@@ -42,7 +42,7 @@ class ElementaryTrng : public BitSource {
   /// BitSource: `nbits` bits. In analytic mode the closed-form kernel runs
   /// word-packed (same RNG draws, bit-identical to next_bit()); in
   /// event-driven mode each bit still runs the timing simulation.
-  void generate_into(std::uint64_t* words, std::size_t nbits) override;
+  void generate_into(std::uint64_t* words, common::Bits nbits) override;
 
   /// BitSource: identity + Section 5.3's comparison figures.
   SourceInfo info() const override;

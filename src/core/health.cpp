@@ -29,9 +29,9 @@ bool RepetitionCountTest::feed(bool bit) {
 }
 
 std::uint64_t RepetitionCountTest::feed_block(const std::uint64_t* words,
-                                              std::size_t nbits) {
+                                              common::Bits nbits) {
   std::uint64_t block_alarms = 0;
-  for (std::size_t i = 0; i < nbits; ++i) {
+  for (std::size_t i = 0, n = nbits.count(); i < n; ++i) {
     if (feed(((words[i >> 6] >> (i & 63)) & 1ULL) != 0)) ++block_alarms;
   }
   return block_alarms;
@@ -88,9 +88,9 @@ bool AdaptiveProportionTest::feed(bool bit) {
 }
 
 std::uint64_t AdaptiveProportionTest::feed_block(const std::uint64_t* words,
-                                                 std::size_t nbits) {
+                                                 common::Bits nbits) {
   std::uint64_t block_alarms = 0;
-  for (std::size_t i = 0; i < nbits; ++i) {
+  for (std::size_t i = 0, n = nbits.count(); i < n; ++i) {
     if (feed(((words[i >> 6] >> (i & 63)) & 1ULL) != 0)) ++block_alarms;
   }
   return block_alarms;
@@ -140,9 +140,9 @@ bool OnlineHealthMonitor::feed(bool bit, bool edge_found) {
 }
 
 std::uint64_t OnlineHealthMonitor::feed_block(const std::uint64_t* words,
-                                              std::size_t nbits) {
+                                              common::Bits nbits) {
   std::uint64_t block_alarms = 0;
-  for (std::size_t i = 0; i < nbits; ++i) {
+  for (std::size_t i = 0, n = nbits.count(); i < n; ++i) {
     if (feed(((words[i >> 6] >> (i & 63)) & 1ULL) != 0,
              /*edge_found=*/true)) {
       ++block_alarms;
@@ -152,7 +152,7 @@ std::uint64_t OnlineHealthMonitor::feed_block(const std::uint64_t* words,
 }
 
 std::uint64_t OnlineHealthMonitor::feed_block(const common::BitStream& bits) {
-  return feed_block(bits.words().data(), bits.size());
+  return feed_block(bits.words().data(), common::Bits{bits.size()});
 }
 
 void OnlineHealthMonitor::reset() {

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "common/bitstream.hpp"
+#include "common/units.hpp"
 
 namespace trng::core {
 
@@ -35,7 +36,7 @@ class RepetitionCountTest {
   /// Feeds `nbits` packed bits (BitSource::generate_into layout); returns
   /// the number of alarms fired within the block. Equivalent to feeding
   /// each bit in order.
-  std::uint64_t feed_block(const std::uint64_t* words, std::size_t nbits);
+  std::uint64_t feed_block(const std::uint64_t* words, common::Bits nbits);
 
   /// Returns the monitor to its just-constructed state (run and alarm
   /// counters cleared). Used when the monitored source is replaced — e.g.
@@ -64,7 +65,7 @@ class AdaptiveProportionTest {
   bool feed(bool bit);
 
   /// Block form of feed(); returns the number of alarms in the block.
-  std::uint64_t feed_block(const std::uint64_t* words, std::size_t nbits);
+  std::uint64_t feed_block(const std::uint64_t* words, common::Bits nbits);
 
   /// Returns to the just-constructed state (window and alarms cleared).
   void reset();
@@ -115,7 +116,7 @@ class OnlineHealthMonitor {
   /// true) for the total-failure monitor — a BitSource hands out decoded
   /// bits, so missed-edge info is only available via the per-capture
   /// feed(). Returns the number of bits whose feed() returned an alarm.
-  std::uint64_t feed_block(const std::uint64_t* words, std::size_t nbits);
+  std::uint64_t feed_block(const std::uint64_t* words, common::Bits nbits);
 
   /// Convenience overload over a BitStream.
   std::uint64_t feed_block(const common::BitStream& bits);

@@ -45,16 +45,17 @@ XorCompressedSource::XorCompressedSource(std::unique_ptr<BitSource> source,
 }
 
 void XorCompressedSource::generate_into(std::uint64_t* words,
-                                        std::size_t nbits) {
-  const std::size_t out_words = (nbits + 63) / 64;
+                                        common::Bits nbits) {
+  const std::size_t out_words = common::bits_to_words(nbits).count();
   for (std::size_t w = 0; w < out_words; ++w) words[w] = 0;
-  if (nbits == 0) return;
-  const std::size_t raw_bits = nbits * np_;
-  raw_buf_.assign((raw_bits + 63) / 64, 0);
+  if (nbits.is_zero()) return;
+  const common::Bits raw_bits = nbits * np_;
+  raw_buf_.assign(common::bits_to_words(raw_bits).count(), 0);
   source_->generate_into(raw_buf_.data(), raw_bits);
   // Fold each group of np consecutive raw bits into one output bit.
+  const std::size_t n = nbits.count();
   std::size_t r = 0;
-  for (std::size_t i = 0; i < nbits; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     unsigned acc = 0;
     for (unsigned j = 0; j < np_; ++j, ++r) {
       acc ^= static_cast<unsigned>((raw_buf_[r >> 6] >> (r & 63)) & 1ULL);

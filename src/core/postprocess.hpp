@@ -50,7 +50,7 @@ class XorCompressedSource : public BitSource {
   /// Owning variant for factory registries. Throws on null source / np == 0.
   XorCompressedSource(std::unique_ptr<BitSource> source, unsigned np);
 
-  void generate_into(std::uint64_t* words, std::size_t nbits) override;
+  void generate_into(std::uint64_t* words, common::Bits nbits) override;
 
   /// Inner source's info with the name suffixed " + XOR np=<np>" and the
   /// throughput divided by np (the rate-for-entropy trade of Eq. 7).

@@ -50,13 +50,14 @@ bool CarryChainTrng::next_raw_bit() {
   return r.bit;
 }
 
-void CarryChainTrng::generate_into(std::uint64_t* words, std::size_t nbits) {
-  std::fill_n(words, (nbits + 63) / 64, std::uint64_t{0});
+void CarryChainTrng::generate_into(std::uint64_t* words, common::Bits nbits) {
+  std::fill_n(words, common::bits_to_words(nbits).count(), std::uint64_t{0});
   // Accumulate diagnostics in locals and fold them in once after the loop:
   // `words` may alias *this as far as the compiler knows, so member
   // increments inside the loop would each cost a load/store pair.
+  const std::size_t n = nbits.count();
   std::uint64_t double_edges = 0, bubbles = 0, missed = 0;
-  for (std::size_t i = 0; i < nbits; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     sampler_.next_capture_into(params_.accumulation_cycles, scratch_);
 
     const sim::SnapshotClass cls = sim::classify_packed(scratch_);
@@ -74,18 +75,18 @@ void CarryChainTrng::generate_into(std::uint64_t* words, std::size_t nbits) {
     }
     words[i >> 6] |= static_cast<std::uint64_t>(r.bit) << (i & 63);
   }
-  diagnostics_.captures += nbits;
+  diagnostics_.captures += n;
   diagnostics_.double_edges += double_edges;
   diagnostics_.bubbles += bubbles;
   diagnostics_.missed_edges += missed;
 }
 
-common::BitStream CarryChainTrng::generate_raw(std::size_t count) {
+common::BitStream CarryChainTrng::generate_raw(common::Bits count) {
   return BitSource::generate(count);
 }
 
-common::BitStream CarryChainTrng::generate(std::size_t count) {
-  if (count == 0) return common::BitStream{};
+common::BitStream CarryChainTrng::generate(common::Bits count) {
+  if (count.is_zero()) return common::BitStream{};
   // count * np raw bits through the batched path, XOR-folded np -> 1: the
   // same stream XorPostProcessor::feed produces bit by bit.
   return BitSource::generate(count * params_.np).xor_fold(params_.np);

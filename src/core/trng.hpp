@@ -50,16 +50,16 @@ class CarryChainTrng : public BitSource {
   /// classify -> packed extract pipeline. Bit-identical to calling
   /// next_raw_bit() nbits times from the same generator state (the RNG
   /// draw order is preserved), but without per-capture allocations.
-  void generate_into(std::uint64_t* words, std::size_t nbits) override;
+  void generate_into(std::uint64_t* words, common::Bits nbits) override;
 
   /// BitSource: identity + the paper's headline raw-rate figures.
   SourceInfo info() const override;
 
   /// Generates `count` raw bits (batched path).
-  common::BitStream generate_raw(std::size_t count);
+  common::BitStream generate_raw(common::Bits count);
 
   /// Generates `count` post-processed bits (consumes count * np raw bits).
-  common::BitStream generate(std::size_t count);
+  common::BitStream generate(common::Bits count);
 
   /// Raw bit rate f_CLK / N_A in bits/s.
   double raw_throughput_bps() const;

@@ -11,7 +11,7 @@ void PoolConfig::validate() const {
   if (producers == 0) {
     throw std::invalid_argument("PoolConfig: producers must be >= 1");
   }
-  if (ring_capacity_words < producer.block_bits / 64) {
+  if (ring_capacity_words < common::bits_to_words(producer.block_bits)) {
     throw std::invalid_argument(
         "PoolConfig: ring_capacity_words must hold at least one block");
   }
@@ -57,8 +57,16 @@ void EntropyPool::stop() {
   data_cv_.notify_all();  // unblocks consumers; rings now only drain
 }
 
-std::size_t EntropyPool::drain_rings(std::uint64_t* words,
-                                     std::size_t nwords) {
+bool EntropyPool::any_ring_nonempty() const {
+  for (const auto& ring : rings_) {
+    if (!ring->size().is_zero()) return true;
+  }
+  return false;
+}
+
+common::Words EntropyPool::drain_rings(std::uint64_t* words,
+                                       common::Words nwords) {
+  const std::size_t want = nwords.count();
   const std::size_t n = rings_.size();
   const std::size_t start =
       shard_cursor_.fetch_add(1, std::memory_order_relaxed) % n;
@@ -66,63 +74,71 @@ std::size_t EntropyPool::drain_rings(std::uint64_t* words,
   // Keep sweeping the shards while any of them yields words; stop only
   // after one full empty-handed sweep.
   bool progressed = true;
-  while (delivered < nwords && progressed) {
+  while (delivered < want && progressed) {
     progressed = false;
-    for (std::size_t k = 0; k < n && delivered < nwords; ++k) {
+    for (std::size_t k = 0; k < n && delivered < want; ++k) {
       const std::size_t i = (start + k) % n;
-      const std::size_t got =
-          rings_[i]->pop_some(words + delivered, nwords - delivered);
-      if (got > 0) {
+      const common::Words got = rings_[i]->pop_some(
+          words + delivered, common::Words{want - delivered});
+      if (!got.is_zero()) {
         progressed = true;
-        delivered += got;
+        delivered += got.count();
         metrics_.producer(i).words_drawn.fetch_add(
-            got, std::memory_order_relaxed);
-        metrics_.producer(i).ring_words.store(rings_[i]->size(),
+            got.count(), std::memory_order_relaxed);
+        metrics_.producer(i).ring_words.store(rings_[i]->size().count(),
                                               std::memory_order_relaxed);
       }
     }
   }
-  return delivered;
+  return common::Words{delivered};
 }
 
-std::size_t EntropyPool::draw(std::uint64_t* words, std::size_t nwords) {
+common::Words EntropyPool::draw(std::uint64_t* words, common::Words nwords) {
   metrics_.draws.fetch_add(1, std::memory_order_relaxed);
-  std::size_t delivered = drain_rings(words, nwords);
+  common::Words delivered = drain_rings(words, nwords);
   std::uint64_t waited_ns = 0;
   while (delivered < nwords) {
     std::unique_lock<std::mutex> lk(data_mu_);
     // Re-check under the producers' notify mutex: a push that raced the
     // drain above is visible here, and one that lands after this drain
     // will block on data_mu_ until this thread is inside wait().
-    const std::size_t got =
-        drain_rings(words + delivered, nwords - delivered);
+    const common::Words got =
+        drain_rings(words + delivered.count(), nwords - delivered);
     delivered += got;
     if (delivered >= nwords) break;
     if (stopped_.load(std::memory_order_acquire)) {
       // Stopped and drained empty-handed: deliver short.
-      if (got == 0) break;
+      if (got.is_zero()) break;
       continue;
     }
     const std::uint64_t t0 = monotonic_ns();
-    data_cv_.wait(lk);
+    // Predicate overload: every wakeup (notified or spurious) re-checks
+    // the shared state this wait is about — ring occupancy and the
+    // stopped flag — under data_mu_, so a consumer can neither sleep
+    // through a close() nor stay asleep holding a stale empty-rings view.
+    data_cv_.wait(lk, [this] {
+      return stopped_.load(std::memory_order_acquire) || any_ring_nonempty();
+    });
     waited_ns += monotonic_ns() - t0;
   }
   if (waited_ns > 0) {
     metrics_.draw_wait_ns.fetch_add(waited_ns, std::memory_order_relaxed);
   }
   metrics_.draw_wait_us.record(waited_ns / 1000);
-  metrics_.words_drawn.fetch_add(delivered, std::memory_order_relaxed);
+  metrics_.words_drawn.fetch_add(delivered.count(),
+                                 std::memory_order_relaxed);
   return delivered;
 }
 
-std::size_t EntropyPool::draw_nonblocking(std::uint64_t* words,
-                                          std::size_t nwords) {
+common::Words EntropyPool::draw_nonblocking(std::uint64_t* words,
+                                            common::Words nwords) {
   metrics_.draws.fetch_add(1, std::memory_order_relaxed);
-  const std::size_t delivered = drain_rings(words, nwords);
-  metrics_.words_drawn.fetch_add(delivered, std::memory_order_relaxed);
+  const common::Words delivered = drain_rings(words, nwords);
+  metrics_.words_drawn.fetch_add(delivered.count(),
+                                 std::memory_order_relaxed);
   if (delivered < nwords) {
     metrics_.nonblocking_shortfall_words.fetch_add(
-        nwords - delivered, std::memory_order_relaxed);
+        (nwords - delivered).count(), std::memory_order_relaxed);
   }
   return delivered;
 }

@@ -40,9 +40,9 @@ namespace trng::service {
 struct PoolConfig {
   std::size_t producers = 1;
 
-  /// Per-producer ring capacity in 64-bit words; must hold at least one
-  /// block (producer.block_bits / 64).
-  std::size_t ring_capacity_words = 1 << 12;
+  /// Per-producer ring capacity; must hold at least one block
+  /// (bits_to_words(producer.block_bits)).
+  common::Words ring_capacity_words{1 << 12};
 
   ProducerConfig producer;
 
@@ -77,11 +77,11 @@ class EntropyPool {
   /// from the producer rings in round-robin shard order. Returns the
   /// number of words delivered — less than `nwords` only once the pool is
   /// stopped and drained. Thread-safe (any number of consumers).
-  std::size_t draw(std::uint64_t* words, std::size_t nwords);
+  common::Words draw(std::uint64_t* words, common::Words nwords);
 
   /// Non-blocking draw: delivers whatever is buffered right now, up to
   /// `nwords`; returns the number of words delivered.
-  std::size_t draw_nonblocking(std::uint64_t* words, std::size_t nwords);
+  common::Words draw_nonblocking(std::uint64_t* words, common::Words nwords);
 
   std::size_t producers() const { return producers_.size(); }
 
@@ -97,7 +97,13 @@ class EntropyPool {
   WordRing& ring(std::size_t i) { return *rings_[i]; }
 
  private:
-  std::size_t drain_rings(std::uint64_t* words, std::size_t nwords);
+  common::Words drain_rings(std::uint64_t* words, common::Words nwords);
+
+  /// True when any producer ring has buffered words. Used as the condvar
+  /// wait predicate in draw(): together with `stopped_` it re-checks the
+  /// shared state the wait is about, so a notification can never be
+  /// consumed without the state change that prompted it being observed.
+  bool any_ring_nonempty() const;
 
   PoolConfig config_;
   Metrics metrics_;

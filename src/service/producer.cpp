@@ -9,7 +9,7 @@
 namespace trng::service {
 
 void ProducerConfig::validate() const {
-  if (block_bits == 0 || block_bits % 64 != 0) {
+  if (block_bits.is_zero() || common::bit_offset(block_bits) != 0) {
     throw std::invalid_argument(
         "ProducerConfig: block_bits must be a positive multiple of 64");
   }
@@ -38,12 +38,12 @@ Producer::Producer(std::size_t index, SourceFactory make,
       seed_stream_(stream_seed),
       monitor_(config.h_per_bit, config.alpha_log2),
       policy_(config.quarantine),
-      block_(config.block_bits / 64) {
+      block_(common::bits_to_words(config.block_bits).count()) {
   config_.validate();
   if (!make_) {
     throw std::invalid_argument("Producer: null source factory");
   }
-  if (ring_.capacity() < block_.size()) {
+  if (ring_.capacity() < common::Words{block_.size()}) {
     throw std::invalid_argument(
         "Producer: ring capacity must hold at least one block");
   }
@@ -67,8 +67,8 @@ void Producer::reseed() {
 }
 
 bool Producer::step() {
-  const std::size_t nbits = config_.block_bits;
-  const std::size_t nwords = block_.size();
+  const common::Bits nbits = config_.block_bits;
+  const common::Words nwords{block_.size()};
   source_->generate_into(block_.data(), nbits);
 
   const std::uint64_t alarms_before = monitor_.total_alarms();
@@ -91,23 +91,27 @@ bool Producer::step() {
   switch (decision) {
     case BlockDecision::kAdmit: {
       std::uint64_t stall = 0;
-      const std::size_t pushed = ring_.push(block_.data(), nwords, &stall);
+      const common::Words pushed = ring_.push(block_.data(), nwords, &stall);
       counters_.stall_ns.fetch_add(stall, std::memory_order_relaxed);
-      counters_.words_produced.fetch_add(pushed, std::memory_order_relaxed);
+      counters_.words_produced.fetch_add(pushed.count(),
+                                         std::memory_order_relaxed);
       counters_.blocks_admitted.fetch_add(1, std::memory_order_relaxed);
-      const std::size_t occupancy = ring_.size();
-      counters_.ring_words.store(occupancy, std::memory_order_relaxed);
-      counters_.ring_occupancy_pct.record(occupancy * 100 / ring_.capacity());
-      if (on_admitted_ && pushed > 0) on_admitted_();
+      const common::Words occupancy = ring_.size();
+      counters_.ring_words.store(occupancy.count(), std::memory_order_relaxed);
+      counters_.ring_occupancy_pct.record(occupancy.count() * 100 /
+                                          ring_.capacity().count());
+      if (on_admitted_ && !pushed.is_zero()) on_admitted_();
       if (pushed < nwords) return false;  // ring closed mid-push
       break;
     }
     case BlockDecision::kDiscard:
-      counters_.words_discarded.fetch_add(nwords, std::memory_order_relaxed);
+      counters_.words_discarded.fetch_add(nwords.count(),
+                                          std::memory_order_relaxed);
       counters_.blocks_rejected.fetch_add(1, std::memory_order_relaxed);
       break;
     case BlockDecision::kDiscardAndReseed:
-      counters_.words_discarded.fetch_add(nwords, std::memory_order_relaxed);
+      counters_.words_discarded.fetch_add(nwords.count(),
+                                          std::memory_order_relaxed);
       counters_.blocks_rejected.fetch_add(1, std::memory_order_relaxed);
       reseed();
       break;
@@ -129,7 +133,7 @@ void Producer::run() {
   const bool paced = config_.pace_bits_per_s > 0.0;
   const auto block_period_ns =
       paced ? static_cast<std::uint64_t>(
-                  1e9 * static_cast<double>(config_.block_bits) /
+                  1e9 * static_cast<double>(config_.block_bits.count()) /
                   config_.pace_bits_per_s)
             : 0;
   std::uint64_t deadline_ns = monotonic_ns();

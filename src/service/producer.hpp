@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "core/bit_source.hpp"
 #include "core/health.hpp"
 #include "service/metrics.hpp"
@@ -40,7 +41,7 @@ using SourceFactory =
 
 struct ProducerConfig {
   /// Bits generated and screened per pipeline step; multiple of 64.
-  std::size_t block_bits = 4096;
+  common::Bits block_bits{4096};
 
   /// Assessed per-bit min-entropy handed to the online health monitor.
   double h_per_bit = 0.95;

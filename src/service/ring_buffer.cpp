@@ -8,17 +8,18 @@
 
 namespace trng::service {
 
-WordRing::WordRing(std::size_t capacity_words) : buf_(capacity_words) {
-  if (capacity_words == 0) {
+WordRing::WordRing(common::Words capacity) : buf_(capacity.count()) {
+  if (capacity.is_zero()) {
     throw std::invalid_argument("WordRing: capacity must be >= 1 word");
   }
 }
 
-std::size_t WordRing::push(const std::uint64_t* words, std::size_t n,
-                           std::uint64_t* stall_ns) {
+common::Words WordRing::push(const std::uint64_t* words, common::Words n,
+                             std::uint64_t* stall_ns) {
+  const std::size_t want = n.count();
   std::size_t pushed = 0;
   std::unique_lock<std::mutex> lk(mu_);
-  while (pushed < n) {
+  while (pushed < want) {
     if (count_ == buf_.size()) {
       if (closed_) break;
       const std::uint64_t t0 = monotonic_ns();
@@ -31,22 +32,23 @@ std::size_t WordRing::push(const std::uint64_t* words, std::size_t n,
     const std::size_t tail = (head_ + count_) % buf_.size();
     const std::size_t contiguous =
         std::min(buf_.size() - tail, buf_.size() - count_);
-    const std::size_t take = std::min(contiguous, n - pushed);
+    const std::size_t take = std::min(contiguous, want - pushed);
     std::memcpy(buf_.data() + tail, words + pushed,
                 take * sizeof(std::uint64_t));
     count_ += take;
     pushed += take;
   }
-  return pushed;
+  return common::Words{pushed};
 }
 
-std::size_t WordRing::pop_some(std::uint64_t* out, std::size_t n) {
+common::Words WordRing::pop_some(std::uint64_t* out, common::Words n) {
+  const std::size_t want = n.count();
   std::size_t popped = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    while (popped < n && count_ > 0) {
+    while (popped < want && count_ > 0) {
       const std::size_t contiguous = std::min(buf_.size() - head_, count_);
-      const std::size_t take = std::min(contiguous, n - popped);
+      const std::size_t take = std::min(contiguous, want - popped);
       std::memcpy(out + popped, buf_.data() + head_,
                   take * sizeof(std::uint64_t));
       head_ = (head_ + take) % buf_.size();
@@ -55,12 +57,12 @@ std::size_t WordRing::pop_some(std::uint64_t* out, std::size_t n) {
     }
   }
   if (popped > 0) space_cv_.notify_all();
-  return popped;
+  return common::Words{popped};
 }
 
-std::size_t WordRing::size() const {
+common::Words WordRing::size() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return count_;
+  return common::Words{count_};
 }
 
 void WordRing::close() {

@@ -9,6 +9,8 @@
 //
 // Word granularity matches BitSource::generate_into: producers push whole
 // admitted blocks (a multiple of 64 bits), consumers draw packed words.
+// Every count at this interface is strongly typed (common::Words): a bit
+// count cannot reach the ring without an explicit bits_to_words().
 #pragma once
 
 #include <condition_variable>
@@ -17,13 +19,15 @@
 #include <mutex>
 #include <vector>
 
+#include "common/units.hpp"
+
 namespace trng::service {
 
 class WordRing {
  public:
   /// Capacity in 64-bit words; must be >= 1.
   /// Throws std::invalid_argument otherwise.
-  explicit WordRing(std::size_t capacity_words);
+  explicit WordRing(common::Words capacity);
 
   WordRing(const WordRing&) = delete;
   WordRing& operator=(const WordRing&) = delete;
@@ -32,17 +36,17 @@ class WordRing {
   /// number of words actually enqueued — less than `n` only when the ring
   /// is closed mid-push (pool shutdown). If `stall_ns` is non-null it is
   /// incremented by the time spent blocked waiting for space.
-  std::size_t push(const std::uint64_t* words, std::size_t n,
-                   std::uint64_t* stall_ns);
+  common::Words push(const std::uint64_t* words, common::Words n,
+                     std::uint64_t* stall_ns);
 
   /// Dequeues up to `n` words into `out` without blocking; returns the
-  /// number of words delivered (0 when empty).
-  std::size_t pop_some(std::uint64_t* out, std::size_t n);
+  /// number of words delivered (zero when empty).
+  common::Words pop_some(std::uint64_t* out, common::Words n);
 
   /// Words currently buffered.
-  std::size_t size() const;
+  common::Words size() const;
 
-  std::size_t capacity() const { return buf_.size(); }
+  common::Words capacity() const { return common::Words{buf_.size()}; }
 
   /// Marks the ring closed and wakes any blocked pusher. Buffered words
   /// remain drawable; further pushes return immediately.

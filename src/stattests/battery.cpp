@@ -104,14 +104,14 @@ BatteryReport TestBattery::run(const common::BitStream& bits) const {
 }
 
 BatteryReport TestBattery::run(core::BitSource& source,
-                               std::size_t nbits) const {
+                               common::Bits nbits) const {
   return run(source.generate(nbits));
 }
 
 std::optional<unsigned> TestBattery::min_passing_np(const RawSource& source,
-                                                    std::size_t test_bits,
+                                                    common::Bits test_bits,
                                                     unsigned max_np) const {
-  if (!source || test_bits < 20000 || max_np == 0) {
+  if (!source || test_bits < common::Bits{20000} || max_np == 0) {
     throw std::invalid_argument("min_passing_np: bad arguments");
   }
   for (unsigned np = 1; np <= max_np; ++np) {
@@ -127,9 +127,9 @@ std::optional<unsigned> TestBattery::min_passing_np(const RawSource& source,
 }
 
 std::optional<unsigned> TestBattery::min_passing_np(core::BitSource& source,
-                                                    std::size_t test_bits,
+                                                    common::Bits test_bits,
                                                     unsigned max_np) const {
-  if (test_bits < 20000 || max_np == 0) {
+  if (test_bits < common::Bits{20000} || max_np == 0) {
     throw std::invalid_argument("min_passing_np: bad arguments");
   }
   for (unsigned np = 1; np <= max_np; ++np) {

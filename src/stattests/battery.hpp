@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/bitstream.hpp"
+#include "common/units.hpp"
 #include "core/bit_source.hpp"
 #include "stattests/test_result.hpp"
 
@@ -62,12 +63,12 @@ class TestBattery {
 
   /// Draws `nbits` bits from `source` via the batched BitSource contract
   /// and runs every test on them.
-  BatteryReport run(core::BitSource& source, std::size_t nbits) const;
+  BatteryReport run(core::BitSource& source, common::Bits nbits) const;
 
   /// Streaming source of raw bits: invoked with a bit count, returns that
   /// many fresh raw bits from the generator under test. Legacy adapter —
   /// new code should pass a core::BitSource directly.
-  using RawSource = std::function<common::BitStream(std::size_t)>;
+  using RawSource = std::function<common::BitStream(common::Bits)>;
 
   /// The paper's n_NIST: smallest np in [1, max_np] such that the XOR-
   /// compressed output passes all applicable tests. Each candidate np
@@ -76,13 +77,13 @@ class TestBattery {
   /// folded stream is too short for any test (a source returning fewer
   /// bits than requested) is rejected, never accepted vacuously.
   std::optional<unsigned> min_passing_np(const RawSource& source,
-                                         std::size_t test_bits,
+                                         common::Bits test_bits,
                                          unsigned max_np = 16) const;
 
   /// BitSource form of the n_NIST search: raw bits are drawn batched from
   /// `source` (which must produce RAW, pre-compression bits).
   std::optional<unsigned> min_passing_np(core::BitSource& source,
-                                         std::size_t test_bits,
+                                         common::Bits test_bits,
                                          unsigned max_np = 16) const;
 
   const Options& options() const { return options_; }

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "common/units.hpp"
 #include "stattests/sp800_22_detail.hpp"
 #include "stattests/sp800_22_wordpar.hpp"
 
@@ -266,7 +267,9 @@ TestResult random_excursions_test(const common::BitStream& bits) {
     const std::uint64_t v = w[i];
     for (unsigned j = 0; j < 64; ++j) step((v >> j) & 1ULL);
   }
-  for (std::size_t i = full_words << 6; i < n; ++i) step(bits[i]);
+  const std::size_t tail_start =
+      common::words_to_bits(common::Words{full_words}).count();
+  for (std::size_t i = tail_start; i < n; ++i) step(bits[i]);
   if (walk != 0) close_cycle();  // final partial cycle counts per the spec
   return detail::excursions_from_counts(cycles, visits);
 }
@@ -298,7 +301,9 @@ TestResult random_excursions_variant_test(const common::BitStream& bits) {
     const std::uint64_t v = w[i];
     for (unsigned j = 0; j < 64; ++j) step((v >> j) & 1ULL);
   }
-  for (std::size_t i = full_words << 6; i < n; ++i) step(bits[i]);
+  const std::size_t tail_start =
+      common::words_to_bits(common::Words{full_words}).count();
+  for (std::size_t i = tail_start; i < n; ++i) step(bits[i]);
   if (walk != 0) ++cycles;
   return detail::excursions_variant_from_counts(cycles, total_visits);
 }

@@ -1,0 +1,23 @@
+// SA002 bad fixture: raw bits/words conversions and unit mixing.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+std::size_t words_needed(std::size_t nbits) {
+  return (nbits + 63) / 64;  // SA002: raw bits->words division
+}
+
+unsigned tail_offset(std::size_t nbits) {
+  return nbits & 63;  // SA002: raw bit-offset arithmetic
+}
+
+std::size_t stream_bits(std::size_t ring_words) {
+  return ring_words * 64;  // SA002: raw words->bits multiplication
+}
+
+bool fits(std::size_t block_bits, std::size_t capacity_words) {
+  return block_bits <= capacity_words;  // SA002: bits compared to words
+}
+
+}  // namespace fixture

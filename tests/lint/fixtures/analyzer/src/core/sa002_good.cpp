@@ -1,0 +1,29 @@
+// SA002 good fixture: typed conversions and plain loop indices.
+//
+// The rule targets unit-carrying names (nbits/nwords, *_bits/*_words);
+// word-packing loops over plain indices are the idiomatic hot path and
+// must stay silent.
+#include <cstddef>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace fixture {
+
+trng::common::Words words_needed(trng::common::Bits nbits) {
+  return trng::common::bits_to_words(nbits);  // typed conversion: clean
+}
+
+trng::common::Bits stream_bits(trng::common::Words nwords) {
+  return trng::common::words_to_bits(nwords);  // typed conversion: clean
+}
+
+std::uint64_t fold(const std::uint64_t* words, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc ^= (words[i >> 6] >> (i & 63)) & 1ULL;  // plain index: clean
+  }
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// SA003 bad fixture: float/double-derived values reaching bit emission.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+struct BitStream {
+  void push_back(bool bit);
+};
+
+// A double cast straight into a packed word: the FP value itself (not a
+// comparison against it) decides the emitted bits.
+void generate_into(std::uint64_t* words, std::size_t nwords) {
+  double phase = 0.25;
+  for (std::size_t i = 0; i < nwords; ++i) {
+    phase = phase * 1.5;
+    words[i] = static_cast<std::uint64_t>(phase);  // SA003: tainted store
+  }
+}
+
+// Taint propagates through an intermediate numeric local.
+void emit(BitStream& bits, double jitter) {
+  double scaled = jitter * 3.0;
+  bits.push_back(scaled);  // SA003: tainted emission
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Suppression fixture: a marker that matches no finding is stale and
+// must be deleted (SA000) — suppressions cannot rot in place.
+#include <mutex>
+
+namespace fixture {
+
+struct Quiet {
+  std::mutex mu_;
+
+  void touch() {
+    // trng-analyzer: allow(SA004) -- nothing here blocks anymore
+    std::lock_guard<std::mutex> lk(mu_);
+  }
+};
+
+}  // namespace fixture

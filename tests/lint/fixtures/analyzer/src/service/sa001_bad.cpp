@@ -1,0 +1,39 @@
+// SA001 bad fixture: condition_variable waits that can lose wakeups.
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace fixture {
+
+struct Pool {
+  std::mutex data_mu_;
+  std::condition_variable data_cv_;
+  bool stopped_ = false;
+  std::size_t available_ = 0;
+
+  // The motivating bug shape (EntropyPool::draw before the fix): the
+  // naked wait sits inside a work loop, but the loop condition tracks
+  // the work item, not the wake-up state — a stop() racing the sleep
+  // is lost forever.
+  std::size_t draw(std::size_t want) {
+    std::size_t delivered = 0;
+    while (delivered < want) {
+      std::unique_lock<std::mutex> lk(data_mu_);
+      if (available_ > 0) {
+        ++delivered;
+        --available_;
+        continue;
+      }
+      data_cv_.wait(lk);  // SA001: naked wait in a non-re-checking loop
+    }
+    return delivered;
+  }
+
+  // A re-check loop with a trivial condition re-checks nothing.
+  void drain() {
+    std::unique_lock<std::mutex> lk(data_mu_);
+    while (true) data_cv_.wait(lk);  // SA001: trivial loop condition
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// SA001 good fixture: every wait re-checks the awaited state.
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace fixture {
+
+struct Pool {
+  std::mutex data_mu_;
+  std::condition_variable data_cv_;
+  bool stopped_ = false;
+  std::size_t available_ = 0;
+
+  // Predicate overload: the canonical form.
+  void wait_predicate() {
+    std::unique_lock<std::mutex> lk(data_mu_);
+    data_cv_.wait(lk, [this] { return stopped_ || available_ > 0; });
+  }
+
+  // Explicit re-check loop directly controlling the wait: equivalent.
+  void wait_loop() {
+    std::unique_lock<std::mutex> lk(data_mu_);
+    while (!stopped_ && available_ == 0) data_cv_.wait(lk);
+  }
+
+  // Braced body of the re-check loop: still the direct statement.
+  void wait_loop_braced() {
+    std::unique_lock<std::mutex> lk(data_mu_);
+    while (available_ == 0) {
+      data_cv_.wait(lk);
+    }
+  }
+
+  // Timed predicate overload.
+  bool wait_timed() {
+    std::unique_lock<std::mutex> lk(data_mu_);
+    return data_cv_.wait_for(lk, std::chrono::milliseconds(5),
+                             [this] { return stopped_; });
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,48 @@
+// SA004 bad fixture: blocking calls while holding a lock guard.
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+struct Source {
+  void generate_into(std::uint64_t* words, std::size_t nbits);
+};
+
+struct Ring {
+  std::size_t push(const std::uint64_t* words, std::size_t n);
+};
+
+struct Worker {
+  std::mutex mu_;
+  std::mutex other_mu_;
+  std::condition_variable cv_;
+  Source source_;
+  Ring ring_;
+  std::uint64_t block_[8];
+
+  void refill() {
+    std::lock_guard<std::mutex> hold(mu_);
+    source_.generate_into(block_, 512);  // SA004: draw under lock
+    ring_.push(block_, 8);               // SA004: blocking push under lock
+  }
+
+  void pace() {
+    std::lock_guard<std::mutex> hold(mu_);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));  // SA004: sleep under lock
+  }
+
+  void cross_wait() {
+    std::unique_lock<std::mutex> held(mu_);
+    std::unique_lock<std::mutex> foreign(other_mu_);
+    // SA004: the wait releases only `foreign`; `held` stays locked
+    // across the sleep. (Predicate overload, so SA001 is satisfied.)
+    cv_.wait(foreign, [] { return true; });
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// SA004 good fixture: blocking work happens outside lock scopes; the
+// only call under a guard is the designated cv wait on that guard.
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+struct Source {
+  void generate_into(std::uint64_t* words, std::size_t nbits);
+};
+
+struct Ring {
+  std::size_t push(const std::uint64_t* words, std::size_t n);
+};
+
+struct Worker {
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+  Source source_;
+  Ring ring_;
+  std::uint64_t block_[8];
+
+  // Draw and push with no lock held; take the lock only to flip state.
+  void refill() {
+    source_.generate_into(block_, 512);
+    ring_.push(block_, 8);
+    {
+      std::lock_guard<std::mutex> hold(mu_);
+      ready_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  // The designated wait point: the cv wait owns the held guard.
+  void consume() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return ready_; });
+    ready_ = false;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Suppression fixture: an allow() with no justification is itself a
+// finding (SA000), and the suppressed rule is reported through it.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+struct Gate {
+  std::mutex mu_;
+  std::condition_variable cv_;
+
+  void unjustified() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk);  // trng-analyzer: allow(SA001)
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Suppression fixture: a justified allow() silences the finding (it is
+// still reported in --json with suppressed=true).
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+struct Gate {
+  std::mutex mu_;
+  std::condition_variable cv_;
+
+  void pulse_wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    // trng-analyzer: allow(SA001) -- fixture: wakeup-counting barrier
+    cv_.wait(lk);
+  }
+};
+
+}  // namespace fixture

@@ -29,7 +29,7 @@ TEST(SunarTrng, InfoMatchesTable2) {
 
 TEST(SunarTrng, OutputIsBalanced) {
   SunarSchellekensTrng t(2);
-  const auto bits = t.generate(30000);
+  const auto bits = t.generate(trng::common::Bits{30000});
   EXPECT_NEAR(bits.ones_fraction(), 0.5, 0.02);
 }
 
@@ -61,7 +61,7 @@ TEST(StrTrng, InfoMatchesTable2) {
 
 TEST(StrTrng, OutputIsBalanced) {
   SelfTimedRingTrng t(5);
-  const auto bits = t.generate(30000);
+  const auto bits = t.generate(trng::common::Bits{30000});
   EXPECT_NEAR(bits.ones_fraction(), 0.5, 0.02);
 }
 
@@ -70,7 +70,7 @@ TEST(StrTrng, FinePhaseGridGivesHighPerSampleEntropy) {
   // the ~4.9 ps phase bin, and the incommensurate drift sweeps ~2 bins per
   // sample, so consecutive samples decorrelate.
   SelfTimedRingTrng t(6);
-  const auto bits = t.generate(30000);
+  const auto bits = t.generate(trng::common::Bits{30000});
   // Count 00/01/10/11 pairs — all four should be well represented.
   int pairs[4] = {};
   for (std::size_t i = 0; i + 1 < bits.size(); i += 2) {
@@ -111,17 +111,17 @@ TEST(TeroTrng, CountsSpreadAroundMean) {
 
 TEST(TeroTrng, ParityOutputIsBalanced) {
   TeroTrng t(8);
-  const auto bits = t.generate(30000);
+  const auto bits = t.generate(trng::common::Bits{30000});
   EXPECT_NEAR(bits.ones_fraction(), 0.5, 0.02);
 }
 
 TEST(Baselines, AllDeterministicPerSeed) {
   SunarSchellekensTrng s1(9), s2(9);
-  EXPECT_TRUE(s1.generate(500) == s2.generate(500));
+  EXPECT_TRUE(s1.generate(trng::common::Bits{500}) == s2.generate(trng::common::Bits{500}));
   SelfTimedRingTrng r1(9), r2(9);
-  EXPECT_TRUE(r1.generate(500) == r2.generate(500));
+  EXPECT_TRUE(r1.generate(trng::common::Bits{500}) == r2.generate(trng::common::Bits{500}));
   TeroTrng t1(9), t2(9);
-  EXPECT_TRUE(t1.generate(500) == t2.generate(500));
+  EXPECT_TRUE(t1.generate(trng::common::Bits{500}) == t2.generate(trng::common::Bits{500}));
 }
 
 }  // namespace

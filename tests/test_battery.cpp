@@ -103,8 +103,9 @@ TEST(TestBattery, MinPassingNpRejectsVacuousCandidates) {
   TestBattery::Options opt;
   opt.include_slow = false;
   TestBattery battery(opt);
-  auto source = [](std::size_t) { return random_bits(50, 3); };
-  EXPECT_EQ(battery.min_passing_np(source, 30000, 4), std::nullopt);
+  auto source = [](common::Bits) { return random_bits(50, 3); };
+  EXPECT_EQ(battery.min_passing_np(source, common::Bits{30000}, 4),
+            std::nullopt);
 }
 
 TEST(TestBattery, MinPassingNpFindsCompressionRate) {
@@ -114,14 +115,14 @@ TEST(TestBattery, MinPassingNpFindsCompressionRate) {
   TestBattery::Options opt;
   opt.include_slow = false;
   TestBattery battery(opt);
-  auto source = [&rng](std::size_t count) {
+  auto source = [&rng](common::Bits count) {
     common::BitStream b;
-    for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t i = 0; i < count.count(); ++i) {
       b.push_back(rng.next_double() < 0.75);
     }
     return b;
   };
-  const auto np = battery.min_passing_np(source, 60000, 8);
+  const auto np = battery.min_passing_np(source, common::Bits{60000}, 8);
   ASSERT_TRUE(np.has_value());
   EXPECT_GE(*np, 3u);
   EXPECT_LE(*np, 6u);
@@ -132,15 +133,16 @@ TEST(TestBattery, MinPassingNpIsOneForGoodSource) {
   TestBattery::Options opt;
   opt.include_slow = false;
   TestBattery battery(opt);
-  auto source = [&rng](std::size_t count) {
+  auto source = [&rng](common::Bits count) {
+    const std::size_t n = count.count();
     common::BitStream b;
-    b.reserve(count + 64);
-    for (std::size_t w = 0; w < count / 64 + 1; ++w) {
+    b.reserve(n + 64);
+    for (std::size_t w = 0; w < n / 64 + 1; ++w) {
       b.append_bits(rng.next(), 64);
     }
-    return b.slice(0, count);
+    return b.slice(0, n);
   };
-  EXPECT_EQ(battery.min_passing_np(source, 60000, 8), 1u);
+  EXPECT_EQ(battery.min_passing_np(source, common::Bits{60000}, 8), 1u);
 }
 
 TEST(TestBattery, MinPassingNpReturnsNulloptWhenHopeless) {
@@ -148,21 +150,23 @@ TEST(TestBattery, MinPassingNpReturnsNulloptWhenHopeless) {
   TestBattery::Options opt;
   opt.include_slow = false;
   TestBattery battery(opt);
-  auto source = [](std::size_t count) {
+  auto source = [](common::Bits count) {
     common::BitStream b;
-    for (std::size_t i = 0; i < count; ++i) b.push_back(true);
+    for (std::size_t i = 0; i < count.count(); ++i) b.push_back(true);
     return b;
   };
-  EXPECT_EQ(battery.min_passing_np(source, 30000, 4), std::nullopt);
+  EXPECT_EQ(battery.min_passing_np(source, common::Bits{30000}, 4),
+            std::nullopt);
 }
 
 TEST(TestBattery, MinPassingNpValidatesArguments) {
   TestBattery battery;
-  auto source = [](std::size_t) { return common::BitStream{}; };
-  EXPECT_THROW(battery.min_passing_np(source, 100, 4), std::invalid_argument);
-  EXPECT_THROW(battery.min_passing_np(nullptr, 100000, 4),
+  auto source = [](common::Bits) { return common::BitStream{}; };
+  EXPECT_THROW(battery.min_passing_np(source, common::Bits{100}, 4),
                std::invalid_argument);
-  EXPECT_THROW(battery.min_passing_np(source, 100000, 0),
+  EXPECT_THROW(battery.min_passing_np(nullptr, common::Bits{100000}, 4),
+               std::invalid_argument);
+  EXPECT_THROW(battery.min_passing_np(source, common::Bits{100000}, 0),
                std::invalid_argument);
 }
 

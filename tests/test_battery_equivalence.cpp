@@ -73,7 +73,7 @@ TEST(BatteryEquivalence, EveryRegistrySource) {
   for (const auto& factory : core::canonical_sources(fabric)) {
     SCOPED_TRACE(factory.id);
     auto source = factory.make(7);
-    expect_engines_agree(source->generate(131072));
+    expect_engines_agree(source->generate(trng::common::Bits{131072}));
   }
 }
 

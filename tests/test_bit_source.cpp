@@ -52,7 +52,7 @@ void expect_batched_equals(BitSource& batched,
     if (done == scalar_ref.size()) break;
     const std::size_t n = std::min(chunk, scalar_ref.size() - done);
     std::vector<std::uint64_t> words((n + 63) / 64, ~std::uint64_t{0});
-    batched.generate_into(words.data(), n);
+    batched.generate_into(words.data(), trng::common::Bits{n});
     for (std::size_t i = 0; i < n; ++i) {
       const bool bit = (words[i >> 6] >> (i & 63)) & 1ULL;
       ASSERT_EQ(bit, scalar_ref[done + i])
@@ -148,9 +148,9 @@ TEST(BitSource, GenerateMatchesGenerateInto) {
   const auto fabric = default_fabric();
   CarryChainTrng a(fabric, DesignParams{}, 3);
   CarryChainTrng b(fabric, DesignParams{}, 3);
-  const common::BitStream via_stream = a.generate_raw(130);
+  const common::BitStream via_stream = a.generate_raw(trng::common::Bits{130});
   std::uint64_t words[3] = {};
-  b.generate_into(words, 130);
+  b.generate_into(words, trng::common::Bits{130});
   ASSERT_EQ(via_stream.size(), 130u);
   for (std::size_t i = 0; i < 130; ++i) {
     ASSERT_EQ(via_stream[i],
@@ -163,8 +163,8 @@ TEST(XorCompressedSource, MatchesManualFold) {
   CarryChainTrng raw(fabric, DesignParams{}, 9);
   CarryChainTrng wrapped_inner(fabric, DesignParams{}, 9);
   XorCompressedSource wrapped(wrapped_inner, 7);
-  const common::BitStream expected = raw.generate_raw(70 * 7).xor_fold(7);
-  const common::BitStream got = wrapped.generate(70);
+  const common::BitStream expected = raw.generate_raw(trng::common::Bits{70 * 7}).xor_fold(7);
+  const common::BitStream got = wrapped.generate(trng::common::Bits{70});
   ASSERT_EQ(got.size(), expected.size());
   EXPECT_TRUE(got == expected);
 }
@@ -204,7 +204,7 @@ TEST(SourceRegistry, CanonicalLineUp) {
     const SourceInfo info = source->info();
     EXPECT_FALSE(info.name.empty());
     EXPECT_GT(info.throughput_bps, 0.0);
-    EXPECT_EQ(source->generate(70).size(), 70u);
+    EXPECT_EQ(source->generate(trng::common::Bits{70}).size(), 70u);
   }
 }
 
@@ -214,7 +214,7 @@ TEST(SourceRegistry, FactoriesAreSeedDeterministic) {
     SCOPED_TRACE(f.id);
     auto a = f.make(123);
     auto b = f.make(123);
-    EXPECT_TRUE(a->generate(128) == b->generate(128));
+    EXPECT_TRUE(a->generate(trng::common::Bits{128}) == b->generate(trng::common::Bits{128}));
   }
 }
 
@@ -223,8 +223,9 @@ TEST(Battery, BitSourceOverloadMatchesStreamRun) {
   CarryChainTrng via_source(fabric, DesignParams{}, 5);
   CarryChainTrng via_stream(fabric, DesignParams{}, 5);
   stat::TestBattery battery;
-  const auto a = battery.run(static_cast<BitSource&>(via_source), 20000);
-  const auto b = battery.run(via_stream.generate_raw(20000));
+  const auto a = battery.run(static_cast<BitSource&>(via_source),
+                             trng::common::Bits{20000});
+  const auto b = battery.run(via_stream.generate_raw(trng::common::Bits{20000}));
   EXPECT_EQ(a.applicable_count(), b.applicable_count());
   EXPECT_EQ(a.failed_count(), b.failed_count());
 }

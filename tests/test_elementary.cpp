@@ -28,14 +28,14 @@ TEST(ElementaryTrng, ThroughputIsClockOverCycles) {
 
 TEST(ElementaryTrng, GeneratesRequestedCount) {
   ElementaryTrng t(480.0, 2.0, 10, 2, ElementaryTrng::Mode::kAnalytic);
-  EXPECT_EQ(t.generate(5000).size(), 5000u);
+  EXPECT_EQ(t.generate(trng::common::Bits{5000}).size(), 5000u);
 }
 
 TEST(ElementaryTrng, LowAccumulationIsNearlyDeterministic) {
   // At t_A = 10 ns, sigma_acc ~ 9 ps << d0 = 480 ps: the sampled value is
   // essentially fixed.
   ElementaryTrng t(480.0, 2.0, 1, 3, ElementaryTrng::Mode::kAnalytic);
-  const auto bits = t.generate(2000);
+  const auto bits = t.generate(trng::common::Bits{2000});
   const double ones = bits.ones_fraction();
   EXPECT_TRUE(ones < 0.01 || ones > 0.99);
 }
@@ -44,7 +44,7 @@ TEST(ElementaryTrng, HighAccumulationApproachesFair) {
   // sigma_acc >> d0 (t_A such that sigma_acc ~ 3 * d0): P1 -> 0.5.
   // sigma_acc = 2 * sqrt(tA/480) >= 1440 -> tA ~ 2.5e8 ps = 2.5e4 cycles.
   ElementaryTrng t(480.0, 2.0, 25000, 4, ElementaryTrng::Mode::kAnalytic);
-  const auto bits = t.generate(20000);
+  const auto bits = t.generate(trng::common::Bits{20000});
   EXPECT_NEAR(bits.ones_fraction(), 0.5, 0.02);
 }
 
@@ -58,15 +58,15 @@ TEST(ElementaryTrng, AnalyticMatchesEventDrivenDistribution) {
   ElementaryTrng event(480.0, 2.0, kCycles, 6,
                        ElementaryTrng::Mode::kEventDriven);
   constexpr std::size_t kBits = 3000;
-  const double pa = analytic.generate(kBits).ones_fraction();
-  const double pe = event.generate(kBits).ones_fraction();
+  const double pa = analytic.generate(trng::common::Bits{kBits}).ones_fraction();
+  const double pe = event.generate(trng::common::Bits{kBits}).ones_fraction();
   EXPECT_NEAR(pa, pe, 0.05);
 }
 
 TEST(ElementaryTrng, DeterministicPerSeed) {
   ElementaryTrng a(480.0, 2.0, 700, 42);
   ElementaryTrng b(480.0, 2.0, 700, 42);
-  EXPECT_TRUE(a.generate(1000) == b.generate(1000));
+  EXPECT_TRUE(a.generate(trng::common::Bits{1000}) == b.generate(trng::common::Bits{1000}));
 }
 
 class ElementarySigmaSweep : public ::testing::TestWithParam<Cycles> {};
@@ -78,9 +78,9 @@ TEST_P(ElementarySigmaSweep, BiasShrinksWithAccumulation) {
   ElementaryTrng shorter(480.0, 2.0, cycles, 7);
   ElementaryTrng longer(480.0, 2.0, cycles * 16, 7);
   const double bias_short =
-      std::fabs(shorter.generate(8000).ones_fraction() - 0.5);
+      std::fabs(shorter.generate(trng::common::Bits{8000}).ones_fraction() - 0.5);
   const double bias_long =
-      std::fabs(longer.generate(8000).ones_fraction() - 0.5);
+      std::fabs(longer.generate(trng::common::Bits{8000}).ones_fraction() - 0.5);
   EXPECT_LE(bias_long, bias_short + 0.03);
 }
 

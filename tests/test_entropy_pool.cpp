@@ -23,6 +23,8 @@
 namespace {
 
 using namespace trng;
+using common::Bits;
+using common::Words;
 
 // Spin-polls `pred` with a sleep, bounded by a generous deadline so the
 // threaded tests stay robust on loaded single-core CI machines.
@@ -48,7 +50,7 @@ service::SourceFactory registry_factory(const std::string& id,
 // are unreachable for any remotely balanced stream.
 service::ProducerConfig permissive_producer(std::size_t block_bits) {
   service::ProducerConfig cfg;
-  cfg.block_bits = block_bits;
+  cfg.block_bits = Bits{block_bits};
   cfg.h_per_bit = 0.05;
   return cfg;
 }
@@ -56,65 +58,68 @@ service::ProducerConfig permissive_producer(std::size_t block_bits) {
 // ---------------------------------------------------------------- WordRing
 
 TEST(ServiceRing, RejectsZeroCapacity) {
-  EXPECT_THROW(service::WordRing ring(0), std::invalid_argument);
+  EXPECT_THROW(service::WordRing ring(Words{0}), std::invalid_argument);
 }
 
 TEST(ServiceRing, FifoOrderAcrossWrap) {
-  service::WordRing ring(8);
+  service::WordRing ring(Words{8});
   std::vector<std::uint64_t> in = {1, 2, 3, 4, 5};
-  ASSERT_EQ(ring.push(in.data(), in.size(), nullptr), in.size());
-  EXPECT_EQ(ring.size(), 5u);
+  ASSERT_EQ(ring.push(in.data(), Words{in.size()}, nullptr),
+            Words{in.size()});
+  EXPECT_EQ(ring.size(), Words{5});
 
   std::uint64_t out[8] = {};
-  ASSERT_EQ(ring.pop_some(out, 3), 3u);
+  ASSERT_EQ(ring.pop_some(out, Words{3}), Words{3});
   EXPECT_EQ(out[0], 1u);
   EXPECT_EQ(out[1], 2u);
   EXPECT_EQ(out[2], 3u);
 
   // head is now at 3; pushing 6 more wraps around the physical end.
   std::vector<std::uint64_t> in2 = {6, 7, 8, 9, 10, 11};
-  ASSERT_EQ(ring.push(in2.data(), in2.size(), nullptr), in2.size());
-  EXPECT_EQ(ring.size(), 8u);
+  ASSERT_EQ(ring.push(in2.data(), Words{in2.size()}, nullptr),
+            Words{in2.size()});
+  EXPECT_EQ(ring.size(), Words{8});
 
   std::vector<std::uint64_t> rest(8);
-  ASSERT_EQ(ring.pop_some(rest.data(), rest.size()), 8u);
+  ASSERT_EQ(ring.pop_some(rest.data(), Words{rest.size()}), Words{8});
   const std::vector<std::uint64_t> expect = {4, 5, 6, 7, 8, 9, 10, 11};
   EXPECT_EQ(rest, expect);
-  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.size(), Words{0});
 }
 
 TEST(ServiceRing, PopOnEmptyReturnsZero) {
-  service::WordRing ring(4);
+  service::WordRing ring(Words{4});
   std::uint64_t out[4];
-  EXPECT_EQ(ring.pop_some(out, 4), 0u);
+  EXPECT_EQ(ring.pop_some(out, Words{4}), Words{0});
 }
 
 TEST(ServiceRing, CloseUnblocksAndTruncatesPush) {
-  service::WordRing ring(4);
+  service::WordRing ring(Words{4});
   std::vector<std::uint64_t> fill = {1, 2, 3, 4};
-  ASSERT_EQ(ring.push(fill.data(), fill.size(), nullptr), 4u);
+  ASSERT_EQ(ring.push(fill.data(), Words{fill.size()}, nullptr),
+            Words{4});
 
   std::uint64_t stall_ns = 0;
-  std::size_t pushed_blocked = 999;
+  Words pushed_blocked{999};
   std::thread pusher([&] {
     std::vector<std::uint64_t> more = {5, 6};
-    pushed_blocked = ring.push(more.data(), more.size(), &stall_ns);
+    pushed_blocked = ring.push(more.data(), Words{more.size()}, &stall_ns);
   });
   // Give the pusher time to block on the full ring, then close.
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   ring.close();
   pusher.join();
 
-  EXPECT_EQ(pushed_blocked, 0u);  // nothing fit before the close
+  EXPECT_EQ(pushed_blocked, Words{0});  // nothing fit before the close
   EXPECT_GT(stall_ns, 0u);        // and the wait was metered
   EXPECT_TRUE(ring.closed());
 
   // Buffered words stay drawable after close; new pushes are refused.
   std::vector<std::uint64_t> out(4);
-  EXPECT_EQ(ring.pop_some(out.data(), out.size()), 4u);
+  EXPECT_EQ(ring.pop_some(out.data(), Words{out.size()}), Words{4});
   EXPECT_EQ(out, fill);
   std::uint64_t word = 7;
-  EXPECT_EQ(ring.push(&word, 1, nullptr), 0u);
+  EXPECT_EQ(ring.push(&word, Words{1}, nullptr), Words{0});
 }
 
 // --------------------------------------------------------------- Histogram
@@ -292,7 +297,7 @@ TEST(ServiceQuarantine, ZeroCooldownGoesStraightToProbation) {
 
 TEST(ServiceProducer, ManualStepsAdmitBlocksAndFireCallback) {
   service::Metrics metrics(1);
-  service::WordRing ring(64);
+  service::WordRing ring(Words{64});
   auto factory_calls = std::make_shared<int>(0);
   service::ProducerConfig cfg = permissive_producer(512);
   service::Producer producer(
@@ -317,13 +322,13 @@ TEST(ServiceProducer, ManualStepsAdmitBlocksAndFireCallback) {
   EXPECT_EQ(c.blocks_admitted.load(), 2u);
   EXPECT_EQ(c.words_produced.load(), 2 * 512u / 64);
   EXPECT_EQ(c.words_discarded.load(), 0u);
-  EXPECT_EQ(ring.size(), 2 * 512u / 64);
+  EXPECT_EQ(ring.size(), Words{2 * 512 / 64});
   EXPECT_GT(c.ring_occupancy_pct.total(), 0u);
 }
 
 TEST(ServiceProducer, ConfigValidationRejectsNonsense) {
   service::Metrics metrics(1);
-  service::WordRing ring(64);
+  service::WordRing ring(Words{64});
   auto make = [](std::size_t, std::uint64_t seed) {
     return core::make_die_seeded_source("str-virtex", 40, seed);
   };
@@ -332,10 +337,10 @@ TEST(ServiceProducer, ConfigValidationRejectsNonsense) {
   };
 
   service::ProducerConfig cfg;
-  cfg.block_bits = 0;
+  cfg.block_bits = Bits{0};
   EXPECT_THROW(construct(cfg), std::invalid_argument);
   cfg = service::ProducerConfig{};
-  cfg.block_bits = 65;  // not a multiple of 64
+  cfg.block_bits = Bits{65};  // not a multiple of 64
   EXPECT_THROW(construct(cfg), std::invalid_argument);
   cfg = service::ProducerConfig{};
   cfg.h_per_bit = 0.0;
@@ -356,9 +361,9 @@ TEST(ServiceProducer, ConfigValidationRejectsNonsense) {
                         service::ProducerConfig{}, ring,
                         metrics.producer(0)),
       std::invalid_argument);
-  service::WordRing tiny(8);
+  service::WordRing tiny(Words{8});
   service::ProducerConfig big;
-  big.block_bits = 1024;  // 16 words > 8
+  big.block_bits = Bits{1024};  // 16 words > 8
   EXPECT_THROW(
       service::Producer(0, make, 1, big, tiny, metrics.producer(0)),
       std::invalid_argument);
@@ -373,8 +378,8 @@ TEST(EntropyPool, ConfigValidationRejectsNonsense) {
   EXPECT_THROW(service::EntropyPool(make, cfg), std::invalid_argument);
 
   cfg = service::PoolConfig{};
-  cfg.producer.block_bits = 4096;
-  cfg.ring_capacity_words = 4096 / 64 - 1;  // cannot hold one block
+  cfg.producer.block_bits = Bits{4096};
+  cfg.ring_capacity_words = Words{4096 / 64 - 1};  // cannot hold one block
   EXPECT_THROW(service::EntropyPool(make, cfg), std::invalid_argument);
 }
 
@@ -389,7 +394,7 @@ TEST(EntropyPool, SingleProducerDrawIsBitIdenticalToBatchedSource) {
   service::PoolConfig cfg;
   cfg.producers = 1;
   cfg.producer = permissive_producer(512);
-  cfg.ring_capacity_words = 64;
+  cfg.ring_capacity_words = Words{64};
   cfg.stream_seed_base = kStreamSeedBase;
 
   // Reference: the producer's epoch-0 seed is the first draw of a
@@ -398,7 +403,7 @@ TEST(EntropyPool, SingleProducerDrawIsBitIdenticalToBatchedSource) {
   auto reference = core::make_die_seeded_source("str-virtex", kDieSeed,
                                                 epoch0_seed);
   std::vector<std::uint64_t> expect(kWords);
-  reference->generate_into(expect.data(), kWords * 64);
+  reference->generate_into(expect.data(), trng::common::Bits{kWords * 64});
 
   service::EntropyPool pool(registry_factory("str-virtex", kDieSeed), cfg);
   pool.start();
@@ -407,7 +412,7 @@ TEST(EntropyPool, SingleProducerDrawIsBitIdenticalToBatchedSource) {
   const std::size_t chunks[] = {1, 7, 64, 3, 125};
   std::size_t at = 0;
   for (std::size_t c : chunks) {
-    ASSERT_EQ(pool.draw(got.data() + at, c), c);
+    ASSERT_EQ(pool.draw(got.data() + at, Words{c}), Words{c});
     at += c;
   }
   ASSERT_EQ(at, kWords);
@@ -426,7 +431,7 @@ TEST(EntropyPool, MultiProducerDrawDeliversAndAccounts) {
   service::PoolConfig cfg;
   cfg.producers = kProducers;
   cfg.producer = permissive_producer(512);
-  cfg.ring_capacity_words = 128;
+  cfg.ring_capacity_words = Words{128};
 
   service::EntropyPool pool(registry_factory("str-virtex", 60), cfg);
   pool.start();
@@ -435,7 +440,7 @@ TEST(EntropyPool, MultiProducerDrawDeliversAndAccounts) {
   std::size_t at = 0;
   while (at < kWords) {
     const std::size_t chunk = std::min<std::size_t>(128, kWords - at);
-    ASSERT_EQ(pool.draw(words.data() + at, chunk), chunk);
+    ASSERT_EQ(pool.draw(words.data() + at, Words{chunk}), Words{chunk});
     at += chunk;
   }
   // All producers got scheduled and contributed into their rings.
@@ -463,12 +468,12 @@ TEST(EntropyPool, StopMakesDrawReturnShortAfterDraining) {
   service::PoolConfig cfg;
   cfg.producers = 1;
   cfg.producer = permissive_producer(512);
-  cfg.ring_capacity_words = 64;
+  cfg.ring_capacity_words = Words{64};
 
   service::EntropyPool pool(registry_factory("str-virtex", 70), cfg);
   pool.start();
   std::vector<std::uint64_t> words(32);
-  ASSERT_EQ(pool.draw(words.data(), 32), 32u);
+  ASSERT_EQ(pool.draw(words.data(), Words{32}), Words{32});
   pool.stop();
 
   // Whatever is still buffered can be drained, then draws come back short
@@ -476,30 +481,31 @@ TEST(EntropyPool, StopMakesDrawReturnShortAfterDraining) {
   std::vector<std::uint64_t> rest(1 << 12);
   std::size_t total = 0;
   for (;;) {
-    const std::size_t got = pool.draw(rest.data(), rest.size());
+    const std::size_t got =
+        pool.draw(rest.data(), Words{rest.size()}).count();
     total += got;
     if (got < rest.size()) break;
   }
-  EXPECT_LE(total, cfg.ring_capacity_words);
+  EXPECT_LE(total, cfg.ring_capacity_words.count());
   std::uint64_t one;
-  EXPECT_EQ(pool.draw(&one, 1), 0u);
+  EXPECT_EQ(pool.draw(&one, Words{1}), Words{0});
 }
 
 TEST(EntropyPool, NonblockingDrawDeliversBufferedWordsOnly) {
   service::PoolConfig cfg;
   cfg.producers = 1;
   cfg.producer = permissive_producer(512);
-  cfg.ring_capacity_words = 64;
+  cfg.ring_capacity_words = Words{64};
 
   service::EntropyPool pool(registry_factory("str-virtex", 80), cfg);
   // Not started: nothing buffered, shortfall is metered.
   std::vector<std::uint64_t> words(16);
-  EXPECT_EQ(pool.draw_nonblocking(words.data(), 16), 0u);
+  EXPECT_EQ(pool.draw_nonblocking(words.data(), Words{16}), Words{0});
   EXPECT_EQ(pool.metrics().nonblocking_shortfall_words.load(), 16u);
 
   // Drive one block in by hand (512 bits = 8 words) and draw it out.
   ASSERT_TRUE(pool.producer(0).step());
-  EXPECT_EQ(pool.draw_nonblocking(words.data(), 16), 8u);
+  EXPECT_EQ(pool.draw_nonblocking(words.data(), Words{16}), Words{8});
   EXPECT_EQ(pool.metrics().nonblocking_shortfall_words.load(), 16u + 8u);
 }
 
@@ -507,7 +513,7 @@ TEST(EntropyPool, BackpressureStallsProducerAndIsMetered) {
   service::PoolConfig cfg;
   cfg.producers = 1;
   cfg.producer = permissive_producer(512);
-  cfg.ring_capacity_words = 512 / 64;  // exactly one block: tight ring
+  cfg.ring_capacity_words = Words{512 / 64};  // exactly one block: tight ring
 
   service::EntropyPool pool(registry_factory("str-virtex", 90), cfg);
   pool.start();
@@ -516,7 +522,7 @@ TEST(EntropyPool, BackpressureStallsProducerAndIsMetered) {
 
   std::vector<std::uint64_t> words(8);
   ASSERT_TRUE(eventually([&] {
-    (void)pool.draw_nonblocking(words.data(), words.size());
+    (void)pool.draw_nonblocking(words.data(), Words{words.size()});
     return pool.metrics().producer(0).stall_ns.load() > 0;
   }));
   pool.stop();
@@ -529,7 +535,7 @@ TEST(EntropyPool, ConcurrentConsumersSplitTheStreamWithoutLossOrDuplication) {
   service::PoolConfig cfg;
   cfg.producers = 2;
   cfg.producer = permissive_producer(512);
-  cfg.ring_capacity_words = 128;
+  cfg.ring_capacity_words = Words{128};
 
   service::EntropyPool pool(registry_factory("str-virtex", 100), cfg);
   pool.start();
@@ -541,7 +547,7 @@ TEST(EntropyPool, ConcurrentConsumersSplitTheStreamWithoutLossOrDuplication) {
     std::size_t at = 0;
     while (at < kPerConsumer) {
       const std::size_t chunk = std::min<std::size_t>(64, kPerConsumer - at);
-      const std::size_t got = pool.draw(out + at, chunk);
+      const std::size_t got = pool.draw(out + at, Words{chunk}).count();
       at += got;
       delivered.fetch_add(got);
       if (got < chunk) break;  // stopped underneath us
@@ -566,12 +572,12 @@ TEST(EntropyPool, SnapshotJsonReflectsLiveCounters) {
   service::PoolConfig cfg;
   cfg.producers = 1;
   cfg.producer = permissive_producer(512);
-  cfg.ring_capacity_words = 64;
+  cfg.ring_capacity_words = Words{64};
 
   service::EntropyPool pool(registry_factory("str-virtex", 110), cfg);
   ASSERT_TRUE(pool.producer(0).step());
   std::vector<std::uint64_t> words(8);
-  ASSERT_EQ(pool.draw_nonblocking(words.data(), 8), 8u);
+  ASSERT_EQ(pool.draw_nonblocking(words.data(), Words{8}), Words{8});
 
   const std::string json = pool.metrics().snapshot_json();
   EXPECT_NE(json.find("\"schema\": \"trng.service.metrics.v1\""),
@@ -581,6 +587,74 @@ TEST(EntropyPool, SnapshotJsonReflectsLiveCounters) {
   EXPECT_NE(json.find("\"state\": \"healthy\""), std::string::npos);
   // The label came from the source's own info().
   EXPECT_NE(json.find("Cherkaoui"), std::string::npos);
+}
+
+// Regression for the lost-wakeup window the predicate-less
+// `data_cv_.wait(lk)` left open: a consumer that drained empty-handed and
+// was about to sleep could miss the only notify stop() would ever send and
+// block forever. The predicate overload re-checks `stopped_` and ring
+// occupancy on every wakeup, so a stop() that lands at any point around
+// the wait must still let the draw return short.
+TEST(EntropyPool, StopWhileConsumerIsParkedInDrawUnblocksIt) {
+  service::PoolConfig cfg;
+  cfg.producers = 1;
+  cfg.producer = permissive_producer(512);
+  cfg.ring_capacity_words = Words{64};
+
+  // Never started: the rings stay empty forever, so the consumer must park
+  // in the wait and only stop() can release it.
+  service::EntropyPool pool(registry_factory("str-virtex", 120), cfg);
+
+  std::atomic<bool> returned{false};
+  std::atomic<std::uint64_t> delivered{~std::uint64_t{0}};
+  std::vector<std::uint64_t> words(16);
+  std::thread consumer([&] {
+    delivered.store(pool.draw(words.data(), Words{16}).count());
+    returned.store(true);
+  });
+
+  // Give the consumer time to reach the wait before stopping; the test
+  // must hold regardless of whether it actually got there.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load()) << "draw returned with nothing buffered";
+  pool.stop();
+  EXPECT_TRUE(eventually([&] { return returned.load(); }))
+      << "stop() did not wake the parked consumer (lost wakeup)";
+  consumer.join();
+  EXPECT_EQ(delivered.load(), 0u);
+}
+
+// Same race, hammered: producers are live and closing mid-wait, and the
+// stop() is issued from a different thread while a consumer is blocked on
+// a draw larger than the producers will ever deliver before shutdown.
+// Every iteration must terminate; a single lost wakeup hangs the test.
+TEST(EntropyPool, RepeatedStopDuringBlockedDrawNeverHangs) {
+  for (int iter = 0; iter < 25; ++iter) {
+    service::PoolConfig cfg;
+    cfg.producers = 2;
+    cfg.producer = permissive_producer(512);
+    cfg.ring_capacity_words = Words{8};  // tight: constant wait traffic
+
+    service::EntropyPool pool(
+        registry_factory("str-virtex", 130 + 10 * iter), cfg);
+    pool.start();
+
+    std::atomic<bool> returned{false};
+    std::vector<std::uint64_t> sink(1 << 12);
+    std::thread consumer([&] {
+      // Far more than the tight rings hold: forces park/wake cycles and
+      // ends blocked in the wait when stop() truncates the stream.
+      (void)pool.draw(sink.data(), Words{sink.size()});
+      returned.store(true);
+    });
+
+    // Vary the stop point across iterations to sweep the race window.
+    std::this_thread::sleep_for(std::chrono::microseconds(100 * iter));
+    pool.stop();
+    ASSERT_TRUE(eventually([&] { return returned.load(); }))
+        << "iteration " << iter << ": consumer never unblocked after stop";
+    consumer.join();
+  }
 }
 
 }  // namespace

@@ -26,6 +26,8 @@
 namespace {
 
 using namespace trng;
+using common::Bits;
+using common::Words;
 
 // The injection_attack example's tone: strong supply-rail coupling beating
 // slowly against the ~33.3 MHz bit rate, parking the sampled edge for long
@@ -63,7 +65,7 @@ service::SourceFactory victim_factory(
 // either cutoff.
 service::ProducerConfig gated_producer() {
   service::ProducerConfig cfg;
-  cfg.block_bits = 2048;
+  cfg.block_bits = Bits{2048};
   cfg.h_per_bit = 0.80;
   cfg.quarantine.alarm_threshold = 1;
   cfg.quarantine.cooldown_blocks = 1;
@@ -104,7 +106,7 @@ EpisodeTrace run_manual_episode() {
   cfg.producers = 1;
   cfg.producer = gated_producer();
   // Large enough that the manual loop never blocks on a full ring.
-  cfg.ring_capacity_words = std::size_t{1} << 15;
+  cfg.ring_capacity_words = Words{std::size_t{1} << 15};
   cfg.stream_seed_base = 17;
 
   service::EntropyPool pool(victim_factory(attacked, 0), cfg);
@@ -119,7 +121,7 @@ EpisodeTrace run_manual_episode() {
   std::vector<std::uint64_t> scratch(64);
   auto step_once = [&] {
     EXPECT_TRUE(producer.step());
-    (void)pool.draw_nonblocking(scratch.data(), scratch.size());
+    (void)pool.draw_nonblocking(scratch.data(), Words{scratch.size()});
   };
 
   // Phase 1: under attack, the gate must trip and quarantine the source.
@@ -191,7 +193,7 @@ TEST(EntropyPoolFailover, PoolStaysAvailableAndReadmitsAfterAttackClears) {
   service::PoolConfig cfg;
   cfg.producers = 2;  // producer 1 is the victim, producer 0 survives
   cfg.producer = gated_producer();
-  cfg.ring_capacity_words = 256;
+  cfg.ring_capacity_words = Words{256};
   cfg.stream_seed_base = 17;
 
   service::EntropyPool pool(victim_factory(attacked, 1), cfg);
@@ -200,7 +202,7 @@ TEST(EntropyPoolFailover, PoolStaysAvailableAndReadmitsAfterAttackClears) {
   const auto& victim = pool.metrics().producer(1);
   std::vector<std::uint64_t> scratch(64);
   auto drain = [&] {
-    return pool.draw_nonblocking(scratch.data(), scratch.size());
+    return pool.draw_nonblocking(scratch.data(), Words{scratch.size()});
   };
 
   // The attack is detected: the victim gets quarantined at least once.
@@ -214,7 +216,8 @@ TEST(EntropyPoolFailover, PoolStaysAvailableAndReadmitsAfterAttackClears) {
   // has been) out of service — the surviving producer carries the pool.
   std::vector<std::uint64_t> words(32);
   for (int i = 0; i < 5; ++i) {
-    ASSERT_EQ(pool.draw(words.data(), words.size()), words.size());
+    ASSERT_EQ(pool.draw(words.data(), Words{words.size()}),
+              Words{words.size()});
   }
 
   // The attack clears. The victim's next reseed builds a clean source,
@@ -234,7 +237,8 @@ TEST(EntropyPoolFailover, PoolStaysAvailableAndReadmitsAfterAttackClears) {
     return victim.blocks_admitted.load() > admitted_now;
   }));
   for (int i = 0; i < 3; ++i) {
-    ASSERT_EQ(pool.draw(words.data(), words.size()), words.size());
+    ASSERT_EQ(pool.draw(words.data(), Words{words.size()}),
+              Words{words.size()});
   }
   pool.stop();
 

@@ -137,7 +137,7 @@ TEST(OnlineHealthMonitor, FeedBlockMatchesScalarFeed) {
             static_cast<std::uint64_t>(bit ? 1 : 0) << (i & 63);
         if (scalar.feed(bit, true)) ++scalar_alarms;
       }
-      batched_alarms += batched.feed_block(words.data(), nbits);
+      batched_alarms += batched.feed_block(words.data(), trng::common::Bits{nbits});
     }
   }
   EXPECT_EQ(batched_alarms, scalar_alarms);

@@ -31,7 +31,7 @@ double run_trng_h(const fpga::Fabric& fabric, int k, Cycles na,
   p.k = k;
   p.accumulation_cycles = na;
   core::CarryChainTrng trng(fabric, p, seed, noise);
-  return empirical_h(trng.generate_raw(n));
+  return empirical_h(trng.generate_raw(trng::common::Bits{n}));
 }
 
 class IdealFabricBound : public ::testing::TestWithParam<Cycles> {};
@@ -61,7 +61,7 @@ TEST(IdealFabricBound, EmpiricalP1MatchesModelAtSomeTau) {
   model::StochasticModel m(paper_platform());
   core::DesignParams p;
   core::CarryChainTrng trng(fabric, p, 3, sim::NoiseConfig::white_only());
-  const double p1_emp = trng.generate_raw(60000).ones_fraction();
+  const double p1_emp = trng.generate_raw(trng::common::Bits{60000}).ones_fraction();
   const double sigma = m.sigma_acc(10000.0);
   double best_err = 1.0;
   for (double tau = 0.0; tau < 480.0; tau += 0.25) {
@@ -83,9 +83,9 @@ TEST(IdealFabricBound, EntropyGrowsWithAccumulation) {
   p_long.accumulation_cycles = 16;
   core::CarryChainTrng t_long(fabric, p_long, 5, noise);
   const double b_short =
-      std::fabs(t_short.generate_raw(30000).ones_fraction() - 0.5);
+      std::fabs(t_short.generate_raw(trng::common::Bits{30000}).ones_fraction() - 0.5);
   const double b_long =
-      std::fabs(t_long.generate_raw(30000).ones_fraction() - 0.5);
+      std::fabs(t_long.generate_raw(trng::common::Bits{30000}).ones_fraction() - 0.5);
   EXPECT_LT(b_long, b_short + 0.01);
   EXPECT_LT(b_long, 0.03);  // 160 ns: sigma_acc ~ 36 ps >> bin
 }
@@ -146,7 +146,7 @@ TEST(RealisticFabric, XorPostProcessingReachesTableOneTarget) {
   core::DesignParams p;
   p.np = 7;
   core::CarryChainTrng trng(fabric, p, 11);
-  const auto bits = trng.generate(40000);
+  const auto bits = trng.generate(trng::common::Bits{40000});
   EXPECT_GT(empirical_h(bits), 0.9995);
 }
 
@@ -160,7 +160,7 @@ TEST(ModelValidation, ElementaryTrngMatchesUnfoldedModelWithWideBins) {
   // sigma = 2 sqrt(tA/480) = 240 -> tA = 240^2/4*480 = 6.912e6 ps.
   const Cycles na = 691;
   core::ElementaryTrng t(480.0, 2.0, na, 13);
-  const double h_emp = empirical_h(t.generate(30000));
+  const double h_emp = empirical_h(t.generate(trng::common::Bits{30000}));
   // Wrap distance for the elementary sampler is 2*d0 (a full period maps
   // back to the same value), handled by the folded model with k=1.
   const double bound = m.folded_entropy_lower_bound(

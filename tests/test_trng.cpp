@@ -30,7 +30,7 @@ TEST(CarryChainTrng, RejectsInvalidParams) {
 TEST(CarryChainTrng, GeneratesRequestedBitCount) {
   const auto fabric = default_fabric();
   CarryChainTrng trng(fabric, DesignParams{}, 1);
-  EXPECT_EQ(trng.generate_raw(1000).size(), 1000u);
+  EXPECT_EQ(trng.generate_raw(trng::common::Bits{1000}).size(), 1000u);
   EXPECT_EQ(trng.diagnostics().captures, 1000u);
 }
 
@@ -39,9 +39,9 @@ TEST(CarryChainTrng, DeterministicPerSeed) {
   CarryChainTrng a(fabric, DesignParams{}, 99);
   CarryChainTrng b(fabric, DesignParams{}, 99);
   CarryChainTrng c(fabric, DesignParams{}, 100);
-  const auto ba = a.generate_raw(2000);
-  EXPECT_TRUE(ba == b.generate_raw(2000));
-  EXPECT_FALSE(ba == c.generate_raw(2000));
+  const auto ba = a.generate_raw(trng::common::Bits{2000});
+  EXPECT_TRUE(ba == b.generate_raw(trng::common::Bits{2000}));
+  EXPECT_FALSE(ba == c.generate_raw(trng::common::Bits{2000}));
 }
 
 TEST(CarryChainTrng, PaperResourceFigures) {
@@ -74,14 +74,14 @@ TEST(CarryChainTrng, NoMissedEdgesAtM36) {
   const auto fabric = default_fabric();
   DesignParams p;
   CarryChainTrng trng(fabric, p, 3);
-  (void)trng.generate_raw(20000);
+  (void)trng.generate_raw(trng::common::Bits{20000});
   EXPECT_EQ(trng.diagnostics().missed_edges, 0u);
 }
 
 TEST(CarryChainTrng, RawOutputIsNotConstant) {
   const auto fabric = default_fabric();
   CarryChainTrng trng(fabric, DesignParams{}, 4);
-  const auto bits = trng.generate_raw(20000);
+  const auto bits = trng.generate_raw(trng::common::Bits{20000});
   const double ones = bits.ones_fraction();
   EXPECT_GT(ones, 0.02);
   EXPECT_LT(ones, 0.98);
@@ -92,7 +92,7 @@ TEST(CarryChainTrng, PostProcessedGenerateConsumesNpRawBits) {
   DesignParams p;
   p.np = 7;
   CarryChainTrng trng(fabric, p, 5);
-  const auto bits = trng.generate(100);
+  const auto bits = trng.generate(trng::common::Bits{100});
   EXPECT_EQ(bits.size(), 100u);
   EXPECT_EQ(trng.diagnostics().captures, 700u);
 }
@@ -102,12 +102,12 @@ TEST(CarryChainTrng, PostProcessingReducesBias) {
   DesignParams raw_p;
   raw_p.accumulation_cycles = 1;
   CarryChainTrng raw_trng(fabric, raw_p, 6);
-  const auto raw = raw_trng.generate_raw(70000);
+  const auto raw = raw_trng.generate_raw(trng::common::Bits{70000});
 
   DesignParams pp = raw_p;
   pp.np = 7;
   CarryChainTrng pp_trng(fabric, pp, 6);
-  const auto post = pp_trng.generate(10000);
+  const auto post = pp_trng.generate(trng::common::Bits{10000});
   const double raw_bias = std::abs(raw.ones_fraction() - 0.5);
   const double post_bias = std::abs(post.ones_fraction() - 0.5);
   EXPECT_LE(post_bias, raw_bias + 0.01);
@@ -120,7 +120,7 @@ TEST(CarryChainTrng, FreeRunningShowsDoubleEdgesAndBubbles) {
   DesignParams p;
   p.mode = sim::SamplingMode::kFreeRunning;
   CarryChainTrng trng(fabric, p, 77);
-  (void)trng.generate_raw(50000);
+  (void)trng.generate_raw(trng::common::Bits{50000});
   const auto& d = trng.diagnostics();
   EXPECT_GT(d.double_edges, d.captures / 20);  // common
   EXPECT_GT(d.bubbles, 0u);                    // occasional
@@ -137,12 +137,12 @@ TEST(CarryChainTrng, MissedEdgesCountedWhenWindowTooShort) {
   DesignParams p;
   p.m = 8;
   CarryChainTrng restarted(fabric, p, 7);
-  (void)restarted.generate_raw(2000);
+  (void)restarted.generate_raw(trng::common::Bits{2000});
   EXPECT_EQ(restarted.diagnostics().missed_edges, 2000u);
 
   p.mode = sim::SamplingMode::kFreeRunning;
   CarryChainTrng free_running(fabric, p, 7);
-  (void)free_running.generate_raw(2000);
+  (void)free_running.generate_raw(trng::common::Bits{2000});
   EXPECT_GT(free_running.diagnostics().missed_edges, 0u);
   EXPECT_LT(free_running.diagnostics().missed_edges, 2000u);
 
@@ -177,7 +177,7 @@ TEST_P(DesignParamSweep, AllConfigurationsProduceBits) {
   p.k = k;
   p.accumulation_cycles = na;
   CarryChainTrng trng(fabric, p, 11);
-  EXPECT_EQ(trng.generate_raw(500).size(), 500u);
+  EXPECT_EQ(trng.generate_raw(trng::common::Bits{500}).size(), 500u);
   EXPECT_EQ(trng.diagnostics().missed_edges, 0u);
 }
 

@@ -1,0 +1,20 @@
+"""Semantic TRNG analyzer (SA rules).
+
+A compile_commands.json-driven companion to tools/trng_lint.py. Where the
+linter enforces lexical invariants (banned tokens, missing attributes),
+the analyzer reasons about *scopes and dataflow*: which lock guards are
+live at a call site, whether a condition_variable wait re-checks its
+predicate, whether a floating-point value can reach bit emission, and
+whether a bit count is used where a word count belongs.
+
+Two frontends produce one shared fact schema (tools/analyzer/facts.py):
+
+  frontend_clang  libclang (clang.cindex) AST walk — highest fidelity;
+                  used where the Python bindings are installed (CI).
+  frontend_lite   a self-contained tokenizer with brace/scope tracking —
+                  no dependencies beyond the standard library, so the
+                  rules run on any host (and back the selftest fixtures).
+
+Rules (tools/analyzer/rules.py) consume facts only, so both frontends
+feed the same rule code. See tools/analyzer/analyze.py for the CLI.
+"""

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Semantic TRNG analyzer CLI.
+
+Drives the SA rules (tools/analyzer/rules.py) over the repository's
+sources. The file list and per-TU compile flags come from
+compile_commands.json when available (every CMake preset exports one and
+the build symlinks it to the repo root); without one the analyzer falls
+back to walking src/.
+
+    python3 tools/analyzer/analyze.py --root .            # lite frontend
+    python3 tools/analyzer/analyze.py -p build --json     # machine output
+    python3 tools/analyzer/analyze.py --frontend clang    # require AST
+
+Frontends: `auto` (default) uses libclang per TU when the bindings are
+importable and falls back to the lite tokenizer otherwise — per file, so
+one unparsable TU degrades only itself. `clang` requires libclang and
+exits 77 (the ctest skip code) when it is unavailable, mirroring the
+clang-tidy wiring. `lite` forces the tokenizer.
+
+Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/internal error,
+77 requested frontend unavailable (skip).
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import pathlib
+import shlex
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from analyzer import facts, frontend_clang, frontend_lite, rules
+else:
+    from . import facts, frontend_clang, frontend_lite, rules
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+SKIP_EXIT = 77
+
+# Flags that matter for parsing; linker/diagnostic noise is dropped.
+_KEEP_FLAG_PREFIXES = ("-std=", "-I", "-D", "-isystem", "-f", "-W")
+
+
+def load_compile_commands(
+        compdb_dir: pathlib.Path) -> dict[pathlib.Path, list[str]]:
+    """file -> parse-relevant flags, from compile_commands.json."""
+    db = compdb_dir / "compile_commands.json"
+    if not db.is_file():
+        return {}
+    out: dict[pathlib.Path, list[str]] = {}
+    try:
+        entries = json.loads(db.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+    for entry in entries:
+        try:
+            file = pathlib.Path(entry["directory"], entry["file"]).resolve()
+        except KeyError:
+            continue
+        argv = entry.get("arguments") or shlex.split(entry.get("command", ""))
+        flags = []
+        for arg in argv[1:]:
+            if arg.startswith(_KEEP_FLAG_PREFIXES):
+                flags.append(arg)
+        out[file] = flags
+    return out
+
+
+def collect_files(root: pathlib.Path,
+                  compdb: dict[pathlib.Path, list[str]]) -> list[pathlib.Path]:
+    """All analyzable sources under <root>/src. The compdb contributes
+    flags, not the file list: headers never appear in it, and the rules
+    must see headers (guard scopes and unit contracts live there)."""
+    src = root / "src"
+    if not src.is_dir():
+        print(f"trng_analyzer: no src/ directory under {root}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return sorted(p for p in src.rglob("*")
+                  if p.is_file() and p.suffix in SOURCE_SUFFIXES)
+
+
+def analyze_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
+                 frontend: str,
+                 compdb: dict[pathlib.Path, list[str]]) -> list[rules.Finding]:
+    tu = None
+    if frontend in ("auto", "clang") and frontend_clang.available():
+        try:
+            tu = frontend_clang.parse(path, rel,
+                                      compdb.get(path.resolve()))
+        except frontend_clang.FrontendError as exc:
+            if frontend == "clang":
+                print(f"trng_analyzer: clang frontend failed on {rel}: "
+                      f"{exc}; falling back to lite", file=sys.stderr)
+            tu = None
+    if tu is None:
+        tu = frontend_lite.parse(path, rel)
+    raw_lines = path.read_text(
+        encoding="utf-8", errors="replace").splitlines()
+    return rules.check_tu(tu, raw_lines)
+
+
+def print_summary(findings: list[rules.Finding], nfiles: int) -> None:
+    by_rule: collections.Counter[str] = collections.Counter()
+    suppressed: collections.Counter[str] = collections.Counter()
+    for f in findings:
+        (suppressed if f.suppressed else by_rule)[f.rule] += 1
+    print(f"trng_analyzer: {nfiles} files", file=sys.stderr)
+    print("  rule    findings  suppressed", file=sys.stderr)
+    for rule in rules.RULES:
+        rid = rule.rule_id
+        print(f"  {rid}  {by_rule.get(rid, 0):8d}  "
+              f"{suppressed.get(rid, 0):10d}", file=sys.stderr)
+    if by_rule.get("SA000") or suppressed.get("SA000"):
+        print(f"  SA000  {by_rule.get('SA000', 0):8d}  "
+              f"{suppressed.get('SA000', 0):10d}", file=sys.stderr)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Semantic TRNG analyzer (SA rules)")
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(
+                            __file__).resolve().parent.parent.parent,
+                        help="repository root; <root>/src is analyzed")
+    parser.add_argument("-p", "--compdb", type=pathlib.Path, default=None,
+                        help="directory containing compile_commands.json "
+                             "(defaults to --root)")
+    parser.add_argument("--frontend", choices=("auto", "clang", "lite"),
+                        default="auto",
+                        help="AST frontend selection (default: auto)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array on stdout "
+                             "(suppressed findings included, flagged)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-rule summary")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in rules.RULES:
+            print(f"{rule.rule_id} {rule.name}: {rule.doc}")
+        return 0
+
+    if args.frontend == "clang" and not frontend_clang.available():
+        print("trng_analyzer: clang python bindings not available; "
+              "skipping (install python3-clang + libclang to enable the "
+              "AST frontend, or run with --frontend auto/lite)",
+              file=sys.stderr)
+        return SKIP_EXIT
+
+    root = args.root.resolve()
+    compdb = load_compile_commands((args.compdb or root).resolve())
+    files = collect_files(root, compdb)
+
+    findings: list[rules.Finding] = []
+    for path in files:
+        rel = pathlib.PurePosixPath(path.relative_to(root).as_posix())
+        findings.extend(analyze_file(path, rel, args.frontend, compdb))
+
+    unsuppressed = [f for f in findings if not f.suppressed]
+    if args.json:
+        print(json.dumps([f.to_json(root) for f in findings], indent=2))
+    else:
+        for f in unsuppressed:
+            print(f.render(root))
+    if not args.quiet:
+        print_summary(findings, len(files))
+    return 1 if unsuppressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,161 @@
+"""Shared fact schema for the semantic TRNG analyzer.
+
+A frontend (libclang or the dependency-free lite tokenizer) reduces one
+translation unit to a `TUFacts` value; the rules in rules.py consume
+facts only and never look at the frontend. Every fact carries a 1-based
+line number in the original file so findings and suppressions line up
+with what the developer sees.
+
+The schema is deliberately small: it holds exactly what the four SA
+rules need (guard scopes, condition_variable waits with their loop
+context, call sites, variable declarations and assignments), plus the
+comment/string-stripped text for the pattern-shaped parts of SA002.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+
+
+@dataclasses.dataclass(frozen=True)
+class Guard:
+    """A scoped lock object: std::lock_guard / unique_lock / scoped_lock.
+
+    `scope_end_line` is the last line of the innermost block containing
+    the declaration — the guard is held from `line` to there.
+    """
+    var: str
+    kind: str            # "lock_guard" | "unique_lock" | "scoped_lock"
+    mutex: str           # first constructor argument, textual
+    line: int
+    scope_end_line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class WaitCall:
+    """A .wait/.wait_for/.wait_until member call on a condition variable."""
+    recv: str            # receiver expression, e.g. "data_cv_"
+    member: str          # "wait" | "wait_for" | "wait_until"
+    line: int
+    args: tuple[str, ...]          # top-level argument texts
+    immediate_loop_cond: str | None
+    # ^ condition text when the wait is the statement directly controlled
+    #   by a while/do-while loop (the canonical re-check idiom
+    #   `while (!pred) cv.wait(lk);`); None when the wait merely sits
+    #   somewhere inside a larger loop body, which does NOT count as
+    #   re-checking — the loop's condition governs the outer work item,
+    #   not the wait's wake-up state.
+
+
+@dataclasses.dataclass(frozen=True)
+class Call:
+    """Any call expression: callee name, optional receiver, location."""
+    callee: str          # rightmost name, e.g. "push" for ring_.push(...)
+    recv: str | None     # receiver expression for member calls
+    line: int
+    offset: int          # character offset into the stripped text
+    args: tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class VarDecl:
+    """A variable/parameter declaration with its (textual) type."""
+    name: str
+    type_text: str       # e.g. "double", "common::Bits", "std::uint64_t"
+    line: int
+    func_start_line: int  # enclosing function span (0 when file scope)
+    func_end_line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Assign:
+    """An assignment or compound assignment statement."""
+    lhs: str
+    op: str              # "=", "|=", "+=", ...
+    rhs: str
+    line: int
+    func_start_line: int
+    func_end_line: int
+
+
+@dataclasses.dataclass
+class TUFacts:
+    path: pathlib.Path
+    rel: pathlib.PurePosixPath
+    stripped: str        # comment/string-stripped source, newlines kept
+    guards: list[Guard] = dataclasses.field(default_factory=list)
+    waits: list[WaitCall] = dataclasses.field(default_factory=list)
+    calls: list[Call] = dataclasses.field(default_factory=list)
+    decls: list[VarDecl] = dataclasses.field(default_factory=list)
+    assigns: list[Assign] = dataclasses.field(default_factory=list)
+    frontend: str = "lite"   # which frontend produced these facts
+
+    def decl_types(self) -> dict[str, str]:
+        """Last-writer-wins name -> type map (adequate for TU-local use)."""
+        return {d.name: d.type_text for d in self.decls}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replaces comment and string-literal contents with spaces, keeping
+    newlines so offsets still map to the original line numbers. Same
+    algorithm as tools/trng_lint.py (kept dependency-free on purpose:
+    the analyzer package must import without the linter on sys.path)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(quote)
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1

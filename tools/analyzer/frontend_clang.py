@@ -1,0 +1,215 @@
+"""libclang frontend: fills the shared fact schema from a real AST.
+
+Used when the clang Python bindings and a loadable libclang are present
+(the CI analyzer job installs them; most dev hosts run the lite frontend
+instead). Fidelity gains over the tokenizer: receiver and declaration
+types are canonical (a condition_variable is recognized by type, not by
+name), guard scopes come from lexical parents rather than brace
+matching, and calls inside templates/macros resolve properly.
+
+The frontend is deliberately fail-soft: `available()` probes the
+bindings, and `parse()` raises `FrontendError` on any per-TU problem so
+the driver can fall back to the lite frontend for that file rather than
+aborting the run — an analyzer that dies on one unparsable TU checks
+nothing at all.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from . import facts
+
+_CINDEX = None
+_PROBED = False
+
+
+class FrontendError(RuntimeError):
+    pass
+
+
+def _cindex():
+    global _CINDEX, _PROBED
+    if not _PROBED:
+        _PROBED = True
+        try:
+            from clang import cindex  # type: ignore
+            # Force-load the library now: import succeeds even when the
+            # shared object is missing, so probe eagerly.
+            cindex.Index.create()
+            _CINDEX = cindex
+        except Exception:
+            _CINDEX = None
+    return _CINDEX
+
+
+def available() -> bool:
+    return _cindex() is not None
+
+
+def _extent_lines(cursor) -> tuple[int, int]:
+    return (cursor.extent.start.line, cursor.extent.end.line)
+
+
+def _text_of(cursor) -> str:
+    return " ".join(t.spelling for t in cursor.get_tokens())
+
+
+def _first_arg_texts(call) -> tuple[str, ...]:
+    return tuple(_text_of(a) for a in call.get_arguments())
+
+
+def parse(path: pathlib.Path, rel: pathlib.PurePosixPath,
+          compile_args: list[str] | None = None) -> facts.TUFacts:
+    cindex = _cindex()
+    if cindex is None:
+        raise FrontendError("clang python bindings unavailable")
+
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    tu_facts = facts.TUFacts(
+        path=path, rel=rel,
+        stripped=facts.strip_comments_and_strings(raw),
+        frontend="clang")
+
+    try:
+        index = cindex.Index.create()
+        unit = index.parse(
+            str(path), args=compile_args or ["-std=c++20"],
+            options=cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0)
+    except Exception as exc:  # cindex raises broad TranslationUnitLoadError
+        raise FrontendError(f"parse failed: {exc}") from exc
+    fatal = [d for d in unit.diagnostics if d.severity >= 4]
+    if fatal:
+        raise FrontendError(f"fatal diagnostics: {fatal[0].spelling}")
+
+    ck = cindex.CursorKind
+    guard_kinds = ("lock_guard", "unique_lock", "scoped_lock")
+
+    def in_main_file(cursor) -> bool:
+        loc = cursor.location
+        return loc.file is not None and \
+            pathlib.Path(loc.file.name).resolve() == path.resolve()
+
+    def func_span_of(cursor) -> tuple[int, int]:
+        node = cursor.semantic_parent
+        while node is not None:
+            if node.kind in (ck.FUNCTION_DECL, ck.CXX_METHOD,
+                             ck.CONSTRUCTOR, ck.DESTRUCTOR,
+                             ck.LAMBDA_EXPR, ck.FUNCTION_TEMPLATE):
+                return _extent_lines(node)
+            node = node.semantic_parent
+        return (0, 0)
+
+    def walk(cursor, ancestors):
+        for child in cursor.get_children():
+            visit(child, ancestors + [cursor])
+            walk(child, ancestors + [cursor])
+
+    def loop_context(ancestors, stmt):
+        """Condition text when stmt is the direct body (or sole compound
+        child) of a while/do statement."""
+        for i in range(len(ancestors) - 1, -1, -1):
+            a = ancestors[i]
+            if a.kind in (ck.WHILE_STMT, ck.DO_STMT):
+                between = ancestors[i + 1:]
+                # Allow exactly one CompoundStmt between loop and stmt.
+                if all(b.kind == ck.COMPOUND_STMT for b in between) \
+                        and len(between) <= 1:
+                    kids = list(a.get_children())
+                    cond = kids[0] if a.kind == ck.WHILE_STMT else kids[-1]
+                    return _text_of(cond)
+                return None
+            if a.kind in (ck.FUNCTION_DECL, ck.CXX_METHOD, ck.LAMBDA_EXPR,
+                          ck.CONSTRUCTOR, ck.DESTRUCTOR):
+                return None
+        return None
+
+    def visit(cursor, ancestors):
+        if not in_main_file(cursor):
+            return
+        kind = cursor.kind
+
+        if kind in (ck.VAR_DECL, ck.PARM_DECL, ck.FIELD_DECL):
+            type_text = cursor.type.spelling.replace(" ", "")
+            fs, fe = func_span_of(cursor)
+            tu_facts.decls.append(facts.VarDecl(
+                name=cursor.spelling, type_text=type_text,
+                line=cursor.location.line,
+                func_start_line=fs, func_end_line=fe))
+            if kind == ck.VAR_DECL:
+                init_kids = [c for c in cursor.get_children()
+                             if c.kind not in (ck.TYPE_REF,
+                                               ck.NAMESPACE_REF,
+                                               ck.TEMPLATE_REF)]
+                if init_kids:
+                    # Initializer doubles as an assignment for taint.
+                    tu_facts.assigns.append(facts.Assign(
+                        lhs=cursor.spelling, op="=",
+                        rhs=_text_of(init_kids[-1]),
+                        line=cursor.location.line,
+                        func_start_line=fs, func_end_line=fe))
+            if kind == ck.VAR_DECL and \
+                    any(g in type_text for g in guard_kinds):
+                gkind = next(g for g in guard_kinds if g in type_text)
+                args = _first_arg_texts(cursor) or \
+                    tuple(_text_of(c) for c in cursor.get_children()
+                          if c.kind != ck.TYPE_REF)
+                parent = ancestors[-1] if ancestors else None
+                end_line = (_extent_lines(parent)[1]
+                            if parent is not None
+                            else cursor.extent.end.line)
+                tu_facts.guards.append(facts.Guard(
+                    var=cursor.spelling, kind=gkind,
+                    mutex=args[0] if args else "",
+                    line=cursor.location.line,
+                    scope_end_line=end_line))
+            return
+
+        if kind == ck.CALL_EXPR:
+            callee = cursor.spelling or ""
+            children = list(cursor.get_children())
+            recv = None
+            recv_type = ""
+            if children and children[0].kind == ck.MEMBER_REF_EXPR:
+                member = children[0]
+                mkids = list(member.get_children())
+                if mkids:
+                    recv = _text_of(mkids[0])
+                    recv_type = mkids[0].type.spelling
+            args = _first_arg_texts(cursor)
+            line = cursor.location.line
+            tu_facts.calls.append(facts.Call(
+                callee=callee, recv=recv, line=line, offset=0, args=args))
+            if callee in ("wait", "wait_for", "wait_until") and \
+                    "condition_variable" in recv_type:
+                # Find the nearest statement-shaped ancestor for loop
+                # context: the call may be wrapped in an ExprStmt.
+                stmt_ancestors = [a for a in ancestors
+                                  if a.kind != ck.UNEXPOSED_EXPR]
+                tu_facts.waits.append(facts.WaitCall(
+                    recv=recv or "", member=callee, line=line, args=args,
+                    immediate_loop_cond=loop_context(
+                        stmt_ancestors, cursor)))
+            return
+
+        if kind == ck.BINARY_OPERATOR or \
+                kind == ck.COMPOUND_ASSIGNMENT_OPERATOR:
+            tokens = list(cursor.get_tokens())
+            ops = {"=", "|=", "&=", "^=", "+=", "-=", "*=", "/=",
+                   "<<=", ">>="}
+            kids = list(cursor.get_children())
+            if len(kids) == 2:
+                lhs_end = kids[0].extent.end.offset
+                op = next((t.spelling for t in tokens
+                           if t.spelling in ops
+                           and t.extent.start.offset >= lhs_end), None)
+                if op:
+                    fs, fe = func_span_of(cursor)
+                    tu_facts.assigns.append(facts.Assign(
+                        lhs=_text_of(kids[0]), op=op,
+                        rhs=_text_of(kids[1]),
+                        line=cursor.location.line,
+                        func_start_line=fs, func_end_line=fe))
+
+    walk(unit.cursor, [])
+    return tu_facts

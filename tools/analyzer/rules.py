@@ -1,0 +1,518 @@
+"""SA rules: semantic invariants over the shared fact schema.
+
+  SA001 condvar-discipline
+      Every condition_variable wait must either use the predicate
+      overload or be the statement *directly* controlled by a re-checking
+      loop (`while (!pred) cv.wait(lk);`). A naked wait that merely sits
+      inside a larger work loop does not qualify: the loop's condition
+      governs the work item, not the wake-up state, so a stop() or
+      close() landing between the state check and the sleep is lost and
+      the consumer parks forever. The motivating bug was exactly that
+      shape in EntropyPool::draw.
+
+  SA002 unit-safety
+      Bit counts and word counts must not mix. Raw /64, *64, %64, <<6,
+      >>6, &63 conversions on unit-carrying values (common::Bits/Words
+      or *_bits/*_words/nbits/nwords names), and arithmetic/comparison
+      mixing a bits name with a words name, must go through the typed
+      helpers in src/common/units.hpp (bits_to_words, words_to_bits,
+      word_index, bit_offset). Loop indices and other unsuffixed
+      locals are out of scope by design.
+
+  SA003 fp-taint
+      In src/core/, no float/double-derived value may reach bit emission
+      (BitStream append/push_back, or packed-word stores in
+      generate_into-shaped code). Taint propagates through arithmetic,
+      casts and assignments; a comparison yields an untainted bool —
+      that is the one legitimate quantization boundary (threshold
+      crossings, probability draws). src/model/ is exempt: estimator
+      numerics are float math by nature and never emit bits.
+
+  SA004 lock-scope
+      No blocking call while holding a ring/pool lock guard, except the
+      designated wait points: a cv wait whose lock argument is the held
+      guard. Generator draws (generate/generate_into/next_bit...),
+      sleeps, joins and WordRing::push are blocking; running them under
+      a mutex turns the lock into a convoy and, for push-vs-drain
+      cycles, a deadlock.
+
+Suppressions use the same line-scoped justified-marker contract as
+trng_lint:  // trng-analyzer: allow(SA001) -- why this one is fine
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import re
+
+from . import facts
+
+ALLOW_RE = re.compile(
+    r"//\s*trng-analyzer:\s*allow\(\s*(SA\d{3})\s*\)\s*(?:--\s*(\S.*))?")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    path: pathlib.Path
+    line: int
+    rule: str
+    name: str
+    message: str
+    suppressed: bool = False
+    justification: str | None = None
+
+    def render(self, root: pathlib.Path) -> str:
+        try:
+            rel = self.path.relative_to(root)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: {self.rule} [{self.name}] {self.message}"
+
+    def to_json(self, root: pathlib.Path) -> dict:
+        try:
+            rel = str(self.path.relative_to(root))
+        except ValueError:
+            rel = str(self.path)
+        out = {"rule": self.rule, "name": self.name, "file": rel,
+               "line": self.line, "message": self.message,
+               "suppressed": self.suppressed}
+        if self.justification:
+            out["justification"] = self.justification
+        return out
+
+
+def _under(rel: pathlib.PurePosixPath, *prefixes: str) -> bool:
+    return any(str(rel).startswith(p) for p in prefixes)
+
+
+class Rule:
+    rule_id: str = "SA000"
+    name: str = "unnamed"
+    doc: str = ""
+
+    def applies_to(self, rel: pathlib.PurePosixPath) -> bool:
+        raise NotImplementedError
+
+    def check(self, tu: facts.TUFacts) -> list[tuple[int, str]]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------- SA001
+
+_TRIVIAL_CONDS = {"", "true", "1", "(true)", "(1)"}
+
+
+class CondvarDiscipline(Rule):
+    rule_id = "SA001"
+    name = "condvar-discipline"
+    doc = ("condition_variable waits must use the predicate overload or "
+           "be directly controlled by a re-checking loop; a naked wait "
+           "loses wakeups that race the sleep")
+
+    def applies_to(self, rel):
+        return _under(rel, "src/")
+
+    def _is_condvar(self, tu: facts.TUFacts, recv: str) -> bool:
+        base = recv.split(".")[-1].split("->")[-1]
+        t = tu.decl_types().get(base, "")
+        if "condition_variable" in t:
+            return True
+        low = base.lower()
+        return "cv" in low or "cond" in low
+
+    def check(self, tu):
+        findings = []
+        guard_vars = {g.var for g in tu.guards}
+        for w in tu.waits:
+            if not self._is_condvar(tu, w.recv):
+                continue
+            # Predicate overload: wait(lock, pred) has 2 top-level args,
+            # wait_for/wait_until(lock, time, pred) has 3.
+            need = 2 if w.member == "wait" else 3
+            if len(w.args) >= need:
+                continue
+            # Timed waits without a predicate still return a reason code
+            # the caller must interpret; only flag them when the first
+            # argument is not even a known lock (same sanity bar as
+            # below), otherwise the naked-wait rule stays focused.
+            if not w.args:
+                continue
+            first = w.args[0].strip()
+            if guard_vars and first not in guard_vars:
+                # Waiting on something that is not a TU-visible guard:
+                # out of this rule's reach (SA004 covers foreign locks).
+                continue
+            cond = (w.immediate_loop_cond or "").replace(" ", "")
+            if w.immediate_loop_cond is not None \
+                    and cond not in _TRIVIAL_CONDS:
+                continue
+            if w.immediate_loop_cond is not None:
+                findings.append((w.line, (
+                    f"{w.recv}.{w.member}({first}) re-check loop has a "
+                    f"trivial condition; the loop must re-test the "
+                    f"awaited state")))
+            else:
+                findings.append((w.line, (
+                    f"naked {w.recv}.{w.member}({first}): use the "
+                    f"predicate overload (or `while (!pred) wait;`) so "
+                    f"every wakeup re-checks the awaited state; a stop "
+                    f"racing this sleep is otherwise lost")))
+        return findings
+
+
+# ----------------------------------------------------------------- SA002
+
+_BITS_ID = r"[A-Za-z_]\w*(?:_bits|_nbits)|nbits|bit_count|block_bits"
+_WORDS_ID = r"[A-Za-z_]\w*(?:_words|_nwords)|nwords|word_count"
+
+_CONV_PATTERNS = [
+    (re.compile(r"\b(" + _BITS_ID + r")\b(?!\s*\()"
+                r"(?:\s*\.\s*count\s*\(\s*\))?"
+                r"\s*(?:\+\s*63\s*\)\s*)?/\s*64\b"),
+     "raw bits->words division; use common::bits_to_words() / "
+     "common::word_index()"),
+    (re.compile(r"\b(" + _BITS_ID + r")\b(?!\s*\()"
+                r"(?:\s*\.\s*count\s*\(\s*\))?"
+                r"\s*(?:>>\s*6|%\s*64|&\s*63)(?!\d)"),
+     "raw bit-offset arithmetic; use common::word_index() / "
+     "common::bit_offset()"),
+    (re.compile(r"\b(" + _WORDS_ID + r")\b(?!\s*\()"
+                r"(?:\s*\.\s*count\s*\(\s*\))?"
+                r"\s*(?:\*\s*64\b|<<\s*6(?!\d))"),
+     "raw words->bits multiplication; use common::words_to_bits()"),
+]
+
+_MIX_PATTERNS = [
+    re.compile(r"\b(" + _BITS_ID + r")\b(?!\s*\()\s*"
+               r"(?:[+\-]|<=?|>=?|==|!=)\s*"
+               r"\b(" + _WORDS_ID + r")\b(?!\s*\()"),
+    re.compile(r"\b(" + _WORDS_ID + r")\b(?!\s*\()\s*"
+               r"(?:[+\-]|<=?|>=?|==|!=)\s*"
+               r"\b(" + _BITS_ID + r")\b(?!\s*\()"),
+]
+
+
+class UnitSafety(Rule):
+    rule_id = "SA002"
+    name = "unit-safety"
+    doc = ("no raw /64, *64, %64, <<6, >>6, &63 conversions or "
+           "bits/words mixing on unit-carrying values; use the typed "
+           "helpers in src/common/units.hpp")
+
+    EXEMPT = ("src/common/units.hpp", "src/common/bitstream.hpp",
+              "src/common/bitstream.cpp")
+
+    def applies_to(self, rel):
+        if str(rel) in self.EXEMPT:
+            return False
+        return _under(rel, "src/core/", "src/service/", "src/stattests/",
+                      "src/common/")
+
+    def check(self, tu):
+        findings = []
+        for pattern, message in _CONV_PATTERNS:
+            for m in pattern.finditer(tu.stripped):
+                findings.append((
+                    facts.line_of(tu.stripped, m.start()),
+                    f"'{m.group(0).strip()}': {message}"))
+        for pattern in _MIX_PATTERNS:
+            for m in pattern.finditer(tu.stripped):
+                findings.append((
+                    facts.line_of(tu.stripped, m.start()),
+                    f"'{m.group(0).strip()}' mixes a bit count with a "
+                    f"word count; convert explicitly with "
+                    f"bits_to_words()/words_to_bits()"))
+        return findings
+
+
+# ----------------------------------------------------------------- SA003
+
+_FP_TYPES = ("float", "double")
+_CMP_OPS = re.compile(r"(?<![<>=!])(?:<=?|>=?|==|!=)(?![<>=])")
+_NUMERIC_DECL_TYPES = re.compile(
+    r"^(?:const)?(?:std::)?(?:u?int\d+_t|size_t|auto|float|double|"
+    r"unsigned|long|int)$")
+
+
+def _paren_depth_map(expr: str) -> list[int]:
+    depths, d = [], 0
+    for c in expr:
+        if c == "(":
+            d += 1
+        depths.append(d)
+        if c == ")":
+            d = max(0, d - 1)
+    return depths
+
+
+_CAST_TEMPLATE_RE = re.compile(
+    r"\b(?:static|reinterpret|const|dynamic)_cast\s*<[^<>]*>")
+
+
+def _has_bare_use(expr: str, tainted: set[str]) -> str | None:
+    """Name of a tainted variable used in `expr` outside any comparison
+    subexpression; None when every use is quantized by a comparison.
+
+    Quantized means: within the tainted identifier's minimal enclosing
+    parenthesis level (or the whole expression), a comparison operator
+    appears at that same level — the FP value only feeds a bool.
+    """
+    if not tainted:
+        return None
+    # Cast angle brackets would read as </> comparisons; blank the
+    # template argument list (a cast never quantizes, it launders).
+    expr = _CAST_TEMPLATE_RE.sub(lambda m: " cast" + " " * (len(m.group(0))
+                                                           - 5), expr)
+    depths = _paren_depth_map(expr)
+    for m in re.finditer(r"[A-Za-z_]\w*", expr):
+        name = m.group(0)
+        if name not in tainted:
+            continue
+        level = depths[m.start()]
+        quantized = False
+        for cm in _CMP_OPS.finditer(expr):
+            if depths[cm.start()] <= level:
+                quantized = True
+                break
+        if not quantized:
+            return name
+    return None
+
+
+class FpTaint(Rule):
+    rule_id = "SA003"
+    name = "fp-taint"
+    doc = ("no float/double-derived value may reach bit emission in "
+           "src/core/ (BitStream appends, packed-word stores); quantize "
+           "through an explicit comparison first")
+
+    _EMIT_CALLEES = {"push_back", "append_bit", "append_words"}
+    _WORD_LHS = re.compile(r"^(?:\*\s*)?(\w+)\s*(?:\[.*\])?$")
+
+    def applies_to(self, rel):
+        return _under(rel, "src/core/")
+
+    def check(self, tu):
+        findings = []
+        types = tu.decl_types()
+
+        # Seed: declared float/double vars, per function span.
+        by_func: dict[tuple[int, int], set[str]] = {}
+        for d in tu.decls:
+            if d.type_text.replace("const", "") in _FP_TYPES:
+                by_func.setdefault(
+                    (d.func_start_line, d.func_end_line), set()).add(d.name)
+
+        # Propagate through assignments to numeric locals (fixpoint).
+        changed = True
+        while changed:
+            changed = False
+            for a in tu.assigns:
+                span = (a.func_start_line, a.func_end_line)
+                tainted = by_func.get(span, set())
+                if not tainted:
+                    continue
+                lhs_base = a.lhs.split("[")[0]
+                if lhs_base in tainted:
+                    continue
+                lhs_type = types.get(lhs_base, "")
+                if lhs_type and not _NUMERIC_DECL_TYPES.match(lhs_type):
+                    continue
+                if _has_bare_use(a.rhs, tainted):
+                    tainted.add(lhs_base)
+                    changed = True
+
+        def tainted_at(line: int) -> set[str]:
+            for (fs, fe), names in by_func.items():
+                if fs and fs <= line <= fe:
+                    return names
+            return set()
+
+        # Sink 1: packed-word stores (words[i] = .., word |= ..) where
+        # the destination is uint64-typed or the canonical out-param.
+        for a in tu.assigns:
+            tainted = tainted_at(a.line)
+            if not tainted:
+                continue
+            m = self._WORD_LHS.match(a.lhs)
+            if not m:
+                continue
+            base = m.group(1)
+            base_type = types.get(base, "")
+            is_word_dst = ("uint64" in base_type or base in ("words", "word")
+                           or base.endswith("_word") or
+                           base.endswith("_words"))
+            if not is_word_dst:
+                continue
+            bare = _has_bare_use(a.rhs, tainted)
+            if bare:
+                findings.append((a.line, (
+                    f"float/double-derived '{bare}' flows into packed "
+                    f"word '{a.lhs} {a.op} ...'; bits must come from an "
+                    f"explicit comparison, not FP arithmetic")))
+
+        # Sink 2: BitStream emission calls.
+        for c in tu.calls:
+            if c.callee not in self._EMIT_CALLEES:
+                continue
+            tainted = tainted_at(c.line)
+            if not tainted or not c.args:
+                continue
+            recv_base = (c.recv or "").split(".")[-1].split("->")[-1]
+            recv_type = types.get(recv_base, "")
+            if "BitStream" not in recv_type and \
+                    recv_base not in ("bits", "stream", "out"):
+                continue
+            bare = _has_bare_use(c.args[0], tainted)
+            if bare:
+                findings.append((c.line, (
+                    f"float/double-derived '{bare}' emitted via "
+                    f"{recv_base}.{c.callee}(); quantize through a "
+                    f"comparison before emission")))
+        return findings
+
+
+# ----------------------------------------------------------------- SA004
+
+class LockScope(Rule):
+    rule_id = "SA004"
+    name = "lock-scope"
+    doc = ("no blocking call (generator draws, sleeps, joins, "
+           "WordRing::push, foreign cv waits) while holding a lock "
+           "guard; cv waits on the held guard are the designated wait "
+           "points")
+
+    _BLOCKING = {
+        "sleep_for": "sleeps under a held lock convoy every other thread",
+        "sleep_until": "sleeps under a held lock convoy every other "
+                       "thread",
+        "join": "joining a thread under a held lock deadlocks if the "
+                "thread needs that lock to exit",
+        "generate": "generator draws are unbounded work; holding a lock "
+                    "across one starves the other side",
+        "generate_into": "generator draws are unbounded work; holding a "
+                         "lock across one starves the other side",
+        "generate_raw": "generator draws are unbounded work; holding a "
+                        "lock across one starves the other side",
+        "next_bit": "generator draws are unbounded work; holding a lock "
+                    "across one starves the other side",
+        "next_raw_bit": "generator draws are unbounded work; holding a "
+                        "lock across one starves the other side",
+        "push": "WordRing::push blocks on a full ring; calling it under "
+                "a lock the drainer needs is a deadlock",
+        "draw": "EntropyPool::draw blocks on empty rings; calling it "
+                "under a lock a producer needs is a deadlock",
+    }
+    _WAIT_MEMBERS = {"wait", "wait_for", "wait_until"}
+
+    def applies_to(self, rel):
+        return _under(rel, "src/core/", "src/service/")
+
+    def check(self, tu):
+        findings = []
+        if not tu.guards:
+            return findings
+        # Guard scopes by line; the fact schema keeps line granularity,
+        # which is exact for this codebase's one-statement-per-line style.
+        guards = [(g.line, g.scope_end_line, g.var) for g in tu.guards]
+
+        def held_at(line: int) -> list[str]:
+            return [v for (a, b, v) in guards if a <= line <= b]
+
+        for c in tu.calls:
+            held = held_at(c.line)
+            if not held:
+                continue
+            if c.callee in self._WAIT_MEMBERS:
+                first = c.args[0].strip() if c.args else ""
+                if first in held and len(held) == 1:
+                    continue  # designated wait point on the held guard
+                if not any(g.var == first for g in tu.guards):
+                    continue  # not a lock-taking wait (e.g. future.wait)
+                others = sorted(v for v in held if v != first)
+                findings.append((c.line, (
+                    f"{c.recv or ''}.{c.callee}({first}) sleeps while "
+                    f"still holding {', '.join(others)}; the wait "
+                    f"releases only its own lock, so every other held "
+                    f"guard convoys its contenders")))
+                continue
+            why = self._BLOCKING.get(c.callee)
+            if why is None:
+                continue
+            # Guard declarations themselves match the call regex
+            # (constructor syntax); skip calls that *are* guard ctors.
+            if any(g.line == c.line and g.var == c.callee
+                   for g in tu.guards):
+                continue
+            recv = f"{c.recv}." if c.recv else ""
+            findings.append((c.line, (
+                f"blocking call {recv}{c.callee}() while holding lock "
+                f"guard {', '.join(sorted(held))}: {why}")))
+        return findings
+
+
+RULES: list[Rule] = [
+    CondvarDiscipline(),
+    UnitSafety(),
+    FpTaint(),
+    LockScope(),
+]
+
+
+def apply_suppressions(path: pathlib.Path, findings: list[Finding],
+                       raw_lines: list[str]) -> list[Finding]:
+    """Line-scoped justified suppressions, same contract as trng_lint:
+    a marker on the finding line or the line above suppresses it (the
+    finding is kept, flagged `suppressed`, for --json reporting); an
+    allow() without justification or matching finding is an SA000."""
+    out: list[Finding] = []
+    used_markers: set[int] = set()
+
+    markers: dict[int, tuple[str, str | None]] = {}
+    for lineno, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if m:
+            markers[lineno] = (m.group(1), m.group(2))
+
+    for f in findings:
+        handled = False
+        for marker_line in (f.line, f.line - 1):
+            marker = markers.get(marker_line)
+            if marker and marker[0] == f.rule:
+                used_markers.add(marker_line)
+                if marker[1]:
+                    out.append(dataclasses.replace(
+                        f, suppressed=True, justification=marker[1]))
+                else:
+                    out.append(Finding(
+                        f.path, marker_line, "SA000", "bad-suppression",
+                        f"allow({f.rule}) without a '-- justification'; "
+                        f"every suppression must say why"))
+                handled = True
+                break
+        if not handled:
+            out.append(f)
+
+    for lineno, (rule_id, _) in markers.items():
+        if lineno not in used_markers:
+            out.append(Finding(
+                path, lineno, "SA000", "bad-suppression",
+                f"allow({rule_id}) marker does not match any finding on "
+                f"this or the next line; delete it"))
+    return out
+
+
+def check_tu(tu: facts.TUFacts, raw_lines: list[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in RULES:
+        if not rule.applies_to(tu.rel):
+            continue
+        for line, message in rule.check(tu):
+            findings.append(Finding(tu.path, line, rule.rule_id,
+                                    rule.name, message))
+    has_markers = any(ALLOW_RE.search(line) for line in raw_lines)
+    if findings or has_markers:
+        findings = apply_suppressions(tu.path, findings, raw_lines)
+    findings.sort(key=lambda f: (f.line, f.rule))
+    return findings

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Self-test for the semantic TRNG analyzer.
+
+Runs the analyzer over the fixture tree in tests/lint/fixtures/analyzer/
+(which mirrors the repo's src/ layout so path-scoped rules apply exactly
+as in production) and asserts each SA rule fires precisely on its bad
+fixture and stays silent on the good one. The assertions run against the
+--json output, which also pins the machine-readable schema the CI
+artifact upload depends on.
+
+Exit codes: 0 all assertions hold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+ANALYZE = REPO / "tools" / "analyzer" / "analyze.py"
+FIXTURES = REPO / "tests" / "lint" / "fixtures" / "analyzer"
+
+# Every unsuppressed (file, rule) pair the fixture run must produce — no
+# more, no less. Multiset: a pair listed twice must fire exactly twice.
+EXPECTED = sorted([
+    ("src/service/sa001_bad.cpp", "SA001"),   # naked wait in work loop
+    ("src/service/sa001_bad.cpp", "SA001"),   # while(true) trivial cond
+    ("src/core/sa002_bad.cpp", "SA002"),      # (nbits + 63) / 64
+    ("src/core/sa002_bad.cpp", "SA002"),      # nbits & 63
+    ("src/core/sa002_bad.cpp", "SA002"),      # ring_words * 64
+    ("src/core/sa002_bad.cpp", "SA002"),      # block_bits <= capacity_words
+    ("src/core/sa003_bad.cpp", "SA003"),      # tainted packed-word store
+    ("src/core/sa003_bad.cpp", "SA003"),      # tainted push_back
+    ("src/service/sa004_bad.cpp", "SA004"),   # generate_into under lock
+    ("src/service/sa004_bad.cpp", "SA004"),   # push under lock
+    ("src/service/sa004_bad.cpp", "SA004"),   # sleep_for under lock
+    ("src/service/sa004_bad.cpp", "SA004"),   # wait holding a second lock
+    ("src/service/suppressed_bad.cpp", "SA000"),
+    ("src/service/dangling_allow.cpp", "SA000"),
+])
+
+# Files that must produce no unsuppressed finding at all.
+MUST_BE_CLEAN = [
+    "src/service/sa001_good.cpp",
+    "src/core/sa002_good.cpp",
+    "src/core/sa003_good.cpp",
+    "src/service/sa004_good.cpp",
+    "src/service/suppressed_ok.cpp",
+]
+
+# (file, rule) pairs that must appear as suppressed=true in --json: the
+# justified marker hides the finding from the exit code but not from the
+# machine-readable report.
+EXPECTED_SUPPRESSED = [
+    ("src/service/suppressed_ok.cpp", "SA001"),
+]
+
+
+def run_analyzer(*extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(ANALYZE), "--root", str(FIXTURES),
+         "--quiet", *extra],
+        capture_output=True, text=True)
+
+
+def main() -> int:
+    frontend = "auto"
+    if "--frontend" in sys.argv[1:]:
+        frontend = sys.argv[sys.argv.index("--frontend") + 1]
+    proc = run_analyzer("--json", "--frontend", frontend)
+
+    failures: list[str] = []
+    if proc.returncode == 77:
+        print("analyzer selftest: requested frontend unavailable; skip")
+        return 77
+    if proc.returncode != 1:
+        failures.append(
+            f"expected exit code 1 (findings present), got "
+            f"{proc.returncode}: {proc.stderr.strip()}")
+
+    try:
+        report = json.loads(proc.stdout)
+    except json.JSONDecodeError as exc:
+        print(f"analyzer selftest: --json output is not JSON: {exc}",
+              file=sys.stderr)
+        print(proc.stdout, file=sys.stderr)
+        return 1
+
+    for entry in report:
+        for key in ("rule", "file", "line", "message", "suppressed"):
+            if key not in entry:
+                failures.append(f"--json entry missing '{key}': {entry}")
+                break
+
+    unsuppressed = sorted((e["file"], e["rule"]) for e in report
+                          if not e.get("suppressed"))
+    suppressed = sorted((e["file"], e["rule"]) for e in report
+                        if e.get("suppressed"))
+
+    for path in MUST_BE_CLEAN:
+        hits = [f for f in unsuppressed if f[0] == path]
+        if hits:
+            failures.append(f"false positive(s) in {path}: {hits}")
+
+    if unsuppressed != EXPECTED:
+        missing = list(EXPECTED)
+        extra = []
+        for f in unsuppressed:
+            if f in missing:
+                missing.remove(f)
+            else:
+                extra.append(f)
+        if missing:
+            failures.append(f"expected findings never fired: {missing}")
+        if extra:
+            failures.append(f"unexpected findings: {extra}")
+
+    for pair in EXPECTED_SUPPRESSED:
+        if pair not in suppressed:
+            failures.append(
+                f"justified suppression not reported in --json: {pair}")
+    for path, rule in suppressed:
+        if (path, rule) not in EXPECTED_SUPPRESSED:
+            failures.append(
+                f"unexpected suppressed finding: {(path, rule)}")
+
+    # Suppressed findings must carry their written justification.
+    for entry in report:
+        if entry.get("suppressed") and not entry.get("justification"):
+            failures.append(
+                f"suppressed finding without justification text: {entry}")
+
+    # The human-readable path agrees with --json on the verdict.
+    plain = run_analyzer("--frontend", frontend)
+    if plain.returncode != 1:
+        failures.append(
+            f"plain run exit code {plain.returncode}, expected 1")
+    for path in MUST_BE_CLEAN:
+        if path in plain.stdout:
+            failures.append(f"plain output mentions clean file {path}")
+
+    # The rule table stays documented.
+    rules_proc = subprocess.run(
+        [sys.executable, str(ANALYZE), "--list-rules"],
+        capture_output=True, text=True)
+    for rule_id in ("SA001", "SA002", "SA003", "SA004"):
+        if rule_id not in rules_proc.stdout:
+            failures.append(f"--list-rules does not document {rule_id}")
+
+    if failures:
+        print("analyzer selftest: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print("--- analyzer --json stdout ---", file=sys.stderr)
+        print(proc.stdout, file=sys.stderr)
+        return 1
+
+    print(f"analyzer selftest: OK ({len(EXPECTED)} expected findings, "
+          f"{len(EXPECTED_SUPPRESSED)} suppressed, "
+          f"{len(MUST_BE_CLEAN)} clean files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,7 +72,9 @@ Exit codes: 0 clean, 1 findings, 2 usage/internal error.
 from __future__ import annotations
 
 import argparse
+import collections
 import dataclasses
+import json
 import pathlib
 import re
 import sys
@@ -92,6 +94,8 @@ class Finding:
     rule: str
     name: str
     message: str
+    suppressed: bool = False
+    justification: str | None = None
 
     def render(self, root: pathlib.Path) -> str:
         try:
@@ -99,6 +103,18 @@ class Finding:
         except ValueError:
             rel = self.path
         return f"{rel}:{self.line}: {self.rule} [{self.name}] {self.message}"
+
+    def to_json(self, root: pathlib.Path) -> dict:
+        try:
+            rel = str(self.path.relative_to(root))
+        except ValueError:
+            rel = str(self.path)
+        out = {"rule": self.rule, "name": self.name, "file": rel,
+               "line": self.line, "message": self.message,
+               "suppressed": self.suppressed}
+        if self.justification:
+            out["justification"] = self.justification
+        return out
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -454,9 +470,9 @@ RULES: list[Rule] = [
 
 def apply_suppressions(path: pathlib.Path, findings: list[Finding],
                        raw_lines: list[str]) -> list[Finding]:
-    """Filters findings carrying a justified allow() marker on the finding
-    line or the line above; emits TL000 for unjustified or dangling
-    markers."""
+    """Marks findings carrying a justified allow() marker on the finding
+    line or the line above as suppressed (they stay in the list so --json
+    can report them); emits TL000 for unjustified or dangling markers."""
     out = []
     used_markers: set[int] = set()
 
@@ -473,6 +489,8 @@ def apply_suppressions(path: pathlib.Path, findings: list[Finding],
             if marker and marker[0] == f.rule:
                 used_markers.add(marker_line)
                 if marker[1]:
+                    out.append(dataclasses.replace(
+                        f, suppressed=True, justification=marker[1]))
                     suppressed = True
                 else:
                     out.append(Finding(
@@ -529,8 +547,11 @@ def main(argv: list[str]) -> int:
                         help="repository root; <root>/src is linted")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array on stdout "
+                             "(suppressed findings included, flagged)")
     parser.add_argument("--quiet", action="store_true",
-                        help="suppress the summary line")
+                        help="suppress the summary")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -545,12 +566,27 @@ def main(argv: list[str]) -> int:
         rel = pathlib.PurePosixPath(path.relative_to(root).as_posix())
         findings.extend(lint_file(path, rel))
 
-    for f in findings:
-        print(f.render(root))
+    unsuppressed = [f for f in findings if not f.suppressed]
+    if args.json:
+        print(json.dumps([f.to_json(root) for f in findings], indent=2))
+    else:
+        for f in unsuppressed:
+            print(f.render(root))
     if not args.quiet:
-        print(f"trng_lint: {len(files)} files, {len(findings)} finding(s)",
+        by_rule: collections.Counter[str] = collections.Counter()
+        suppressed: collections.Counter[str] = collections.Counter()
+        for f in findings:
+            (suppressed if f.suppressed else by_rule)[f.rule] += 1
+        print(f"trng_lint: {len(files)} files, "
+              f"{len(unsuppressed)} finding(s), "
+              f"{len(findings) - len(unsuppressed)} suppressed",
               file=sys.stderr)
-    return 1 if findings else 0
+        if by_rule or suppressed:
+            print("  rule    findings  suppressed", file=sys.stderr)
+            for rid in sorted(set(by_rule) | set(suppressed)):
+                print(f"  {rid}  {by_rule.get(rid, 0):8d}  "
+                      f"{suppressed.get(rid, 0):10d}", file=sys.stderr)
+    return 1 if unsuppressed else 0
 
 
 if __name__ == "__main__":
