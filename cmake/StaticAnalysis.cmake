@@ -42,6 +42,23 @@ set_tests_properties(trng_analyzer.selftest PROPERTIES
   LABELS "lint"
   SKIP_RETURN_CODE 77)
 
+# Benchmark regression tripwire: trng_bench.selftest proves the gate
+# trips on a perturbed baseline (always runs); trng_bench.diff compares a
+# fresh BENCH_throughput.json from this build tree against the committed
+# baseline and skips (exit 77) when perf_microbench has not been run.
+add_test(NAME trng_bench.selftest
+  COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/bench_diff.py
+          --selftest --baseline ${CMAKE_SOURCE_DIR}/BENCH_throughput.json)
+set_tests_properties(trng_bench.selftest PROPERTIES LABELS "lint")
+
+add_test(NAME trng_bench.diff
+  COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/bench_diff.py
+          --baseline ${CMAKE_SOURCE_DIR}/BENCH_throughput.json
+          --fresh ${CMAKE_BINARY_DIR}/BENCH_throughput.json)
+set_tests_properties(trng_bench.diff PROPERTIES
+  LABELS "lint"
+  SKIP_RETURN_CODE 77)
+
 # Exit code 77 is the conventional "skip" sentinel: the runner reports the
 # test as skipped (not failed) on hosts without clang-tidy.
 add_test(NAME trng_tidy.src

@@ -110,8 +110,16 @@ class EntropyPool {
   std::vector<std::unique_ptr<WordRing>> rings_;
   std::vector<std::unique_ptr<Producer>> producers_;
 
+  /// Round-robin fairness hint only: which ring a draw sweeps first.
+  /// Losing an increment shifts the start shard, nothing more.
+  // trng-analyzer: atomic(counter)
   std::atomic<std::size_t> shard_cursor_{0};
+  /// One-way latches. exchange() (seq_cst) makes start/stop idempotent;
+  /// the draw path observes stopped_ with acquire loads so everything
+  /// stop() did before the latch flipped is visible to the drainer.
+  // trng-analyzer: atomic(flag)
   std::atomic<bool> started_{false};
+  // trng-analyzer: atomic(flag)
   std::atomic<bool> stopped_{false};
 
   /// Consumers wait here when every ring is empty; producers notify after

@@ -50,6 +50,7 @@ class Histogram {
 
  private:
   std::vector<std::uint64_t> bounds_;
+  // trng-analyzer: atomic(counter)
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
 };
 
@@ -62,17 +63,29 @@ const char* admit_state_name(AdmitState state);
 /// Per-producer counters. Written by the owning producer thread (and the
 /// pool's draw path for words_drawn); read by snapshot_json at any time.
 struct ProducerCounters {
+  // trng-analyzer: atomic(counter)
   std::atomic<std::uint64_t> words_produced{0};   ///< admitted into the ring
+  // trng-analyzer: atomic(counter)
   std::atomic<std::uint64_t> words_discarded{0};  ///< quarantine/probation
+  // trng-analyzer: atomic(counter)
   std::atomic<std::uint64_t> words_drawn{0};      ///< drawn from the ring
+  // trng-analyzer: atomic(counter)
   std::atomic<std::uint64_t> blocks_admitted{0};
+  // trng-analyzer: atomic(counter)
   std::atomic<std::uint64_t> blocks_rejected{0};
+  // trng-analyzer: atomic(counter)
   std::atomic<std::uint64_t> health_alarms{0};    ///< bit-level alarm count
+  // trng-analyzer: atomic(counter)
   std::atomic<std::uint64_t> quarantines{0};      ///< healthy -> quarantined
+  // trng-analyzer: atomic(counter)
   std::atomic<std::uint64_t> reseeds{0};
+  // trng-analyzer: atomic(counter)
   std::atomic<std::uint64_t> readmissions{0};     ///< probation -> healthy
+  // trng-analyzer: atomic(counter)
   std::atomic<std::uint64_t> stall_ns{0};         ///< blocked on a full ring
+  // trng-analyzer: atomic(gauge)
   std::atomic<std::uint64_t> ring_words{0};       ///< occupancy gauge
+  // trng-analyzer: atomic(gauge)
   std::atomic<int> state{static_cast<int>(AdmitState::kHealthy)};
   /// Ring occupancy (percent of capacity) sampled after every push.
   Histogram ring_occupancy_pct{{10, 25, 50, 75, 90, 100}};
@@ -98,9 +111,13 @@ class Metrics {
   const std::string& label(std::size_t i) const { return labels_[i]; }
 
   // Pool-level draw-path counters.
+  // trng-analyzer: atomic(counter)
   std::atomic<std::uint64_t> draws{0};
+  // trng-analyzer: atomic(counter)
   std::atomic<std::uint64_t> words_drawn{0};
+  // trng-analyzer: atomic(counter)
   std::atomic<std::uint64_t> draw_wait_ns{0};  ///< blocked, all rings empty
+  // trng-analyzer: atomic(counter)
   std::atomic<std::uint64_t> nonblocking_shortfall_words{0};
   /// Per-draw blocking wait, microseconds.
   Histogram draw_wait_us{{1, 10, 100, 1000, 10000, 100000, 1000000}};

@@ -126,6 +126,11 @@ class Producer {
   std::thread thread_;
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;
+  // Declared locking contract (SA005): written by start/stop_and_join,
+  // read by the worker's loop and the pace-wait predicate — always
+  // under stop_mu_, which is also what makes the stop_cv_ handshake
+  // lossless.
+  // trng-analyzer: guards(stop_requested_, stop_mu_)
   bool stop_requested_ = false;
 };
 

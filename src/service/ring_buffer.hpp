@@ -58,6 +58,13 @@ class WordRing {
   mutable std::mutex mu_;
   std::condition_variable space_cv_;
   std::vector<std::uint64_t> buf_;
+  // Declared locking contract (SA005): the FIFO cursors and the closed
+  // latch are only coherent as a set, so every access takes mu_. buf_
+  // itself is deliberately outside the contract — its *size* is fixed
+  // at construction and capacity() reads it lock-free.
+  // trng-analyzer: guards(head_, mu_)
+  // trng-analyzer: guards(count_, mu_)
+  // trng-analyzer: guards(closed_, mu_)
   std::size_t head_ = 0;   ///< index of the oldest buffered word
   std::size_t count_ = 0;  ///< buffered words
   bool closed_ = false;

@@ -27,6 +27,9 @@ std::vector<TestResult> BatteryExecutor::run(
   }
 
   std::vector<std::exception_ptr> errors(jobs.size());
+  // Work-claim ticket: relaxed is enough because each index is claimed
+  // exactly once and the result slots are disjoint per index.
+  // trng-analyzer: atomic(counter)
   std::atomic<std::size_t> next{0};
   auto worker = [&jobs, &results, &errors, &next]() {
     for (;;) {

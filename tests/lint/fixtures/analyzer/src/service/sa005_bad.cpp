@@ -1,0 +1,46 @@
+// SA005 bad fixture: inconsistent locksets on shared member fields.
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+class Ledger {
+ public:
+  void deposit(std::uint64_t v) {
+    std::lock_guard<std::mutex> lk(ledger_mu_);
+    balance_ += v;
+  }
+
+  std::uint64_t balance() const {
+    return balance_;  // SA005: unguarded while deposit() holds ledger_mu_
+  }
+
+  void audit_one() {
+    std::lock_guard<std::mutex> lk(ledger_mu_);
+    audits_ += 1;
+  }
+
+  void audit_two() {
+    std::lock_guard<std::mutex> lk(alt_mu_);
+    audits_ += 1;  // SA005: disjoint guard set vs audit_one
+  }
+
+  void reset_total() {
+    total_ = 0;  // SA005: declared guards(total_, ledger_mu_) not held
+  }
+
+  void add_total(std::uint64_t v) {
+    std::lock_guard<std::mutex> lk(ledger_mu_);
+    total_ += v;
+  }
+
+ private:
+  mutable std::mutex ledger_mu_;
+  std::mutex alt_mu_;
+  std::uint64_t balance_ = 0;
+  std::uint64_t audits_ = 0;
+  // trng-analyzer: guards(total_, ledger_mu_)
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// SA005 good fixture: every shared field sees a consistent lockset —
+// always the same mutex, or never any (thread-confined scratch state).
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+class Tally {
+ public:
+  void add(std::uint64_t v) {
+    std::lock_guard<std::mutex> lk(tally_mu_);
+    grand_sum_ += v;
+  }
+
+  std::uint64_t read() const {
+    std::lock_guard<std::mutex> lk(tally_mu_);
+    return grand_sum_;
+  }
+
+  void bump_epoch() {
+    std::lock_guard<std::mutex> lk(tally_mu_);
+    epoch_count_ += 1;  // honors the declared contract below
+  }
+
+  void scratch() {
+    scratch_pad_ = 7;  // consistently unguarded: owner-thread only
+  }
+
+ private:
+  mutable std::mutex tally_mu_;
+  std::uint64_t grand_sum_ = 0;
+  // trng-analyzer: guards(epoch_count_, tally_mu_)
+  std::uint64_t epoch_count_ = 0;
+  std::uint64_t scratch_pad_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// SA006 bad fixture: atomics without roles and with orders too weak for
+// their declared protocol role.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class Channel {
+ public:
+  void hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+  void publish() {
+    // SA006: a flag publishes state; relaxed loses the release edge.
+    ready_.store(true, std::memory_order_relaxed);
+  }
+
+  bool poll() const {
+    // SA006: the paired observe side needs acquire.
+    return ready_.load(std::memory_order_relaxed);
+  }
+
+  void advance_head(std::uint64_t v) {
+    // SA006: index ops must spell the order explicitly.
+    head_idx_.store(v);
+  }
+
+  std::uint64_t tail() const {
+    // SA006: an index load below acquire breaks the publish protocol.
+    return tail_idx_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};  // SA006: no role annotation
+  // trng-analyzer: atomic(flag)
+  std::atomic<bool> ready_{false};
+  // trng-analyzer: atomic(index-producer)
+  std::atomic<std::uint64_t> head_idx_{0};
+  // trng-analyzer: atomic(index-consumer)
+  std::atomic<std::uint64_t> tail_idx_{0};
+};
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// SA006 good fixture: every atomic carries a role and uses orders the
+// role's protocol allows.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class GoodChannel {
+ public:
+  void hit() { ticks_.fetch_add(1, std::memory_order_relaxed); }
+
+  void publish() { go_.store(true, std::memory_order_release); }
+
+  bool poll() const { return go_.load(std::memory_order_acquire); }
+
+  void latch() { go_.exchange(true); }  // implicit seq_cst: fine
+
+  void advance(std::uint64_t v) {
+    wr_idx_.store(v, std::memory_order_release);
+  }
+
+  std::uint64_t consume() const {
+    return rd_idx_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // trng-analyzer: atomic(counter)
+  std::atomic<std::uint64_t> ticks_{0};
+  // trng-analyzer: atomic(flag)
+  std::atomic<bool> go_{false};
+  // trng-analyzer: atomic(index-producer)
+  std::atomic<std::uint64_t> wr_idx_{0};
+  // trng-analyzer: atomic(index-consumer)
+  std::atomic<std::uint64_t> rd_idx_{0};
+};
+
+}  // namespace fixture

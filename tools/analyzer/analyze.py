@@ -82,9 +82,9 @@ def collect_files(root: pathlib.Path,
                   if p.is_file() and p.suffix in SOURCE_SUFFIXES)
 
 
-def analyze_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
-                 frontend: str,
-                 compdb: dict[pathlib.Path, list[str]]) -> list[rules.Finding]:
+def parse_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
+               frontend: str,
+               compdb: dict[pathlib.Path, list[str]]) -> facts.TUFacts:
     tu = None
     if frontend in ("auto", "clang") and frontend_clang.available():
         try:
@@ -97,9 +97,18 @@ def analyze_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
             tu = None
     if tu is None:
         tu = frontend_lite.parse(path, rel)
+    return tu
+
+
+def analyze_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
+                 frontend: str,
+                 compdb: dict[pathlib.Path, list[str]],
+                 repo: rules.RepoContext | None = None
+                 ) -> list[rules.Finding]:
+    tu = parse_file(path, rel, frontend, compdb)
     raw_lines = path.read_text(
         encoding="utf-8", errors="replace").splitlines()
-    return rules.check_tu(tu, raw_lines)
+    return rules.check_tu(tu, raw_lines, repo)
 
 
 def print_summary(findings: list[rules.Finding], nfiles: int) -> None:
@@ -156,10 +165,21 @@ def main(argv: list[str]) -> int:
     compdb = load_compile_commands((args.compdb or root).resolve())
     files = collect_files(root, compdb)
 
-    findings: list[rules.Finding] = []
+    # Pass 1: parse every TU. Annotations (locking contracts, atomic
+    # roles) live in headers but govern accesses in other TUs, so the
+    # cross-TU context must exist before any rule runs.
+    tus: list[facts.TUFacts] = []
     for path in files:
         rel = pathlib.PurePosixPath(path.relative_to(root).as_posix())
-        findings.extend(analyze_file(path, rel, args.frontend, compdb))
+        tus.append(parse_file(path, rel, args.frontend, compdb))
+    repo = rules.build_repo_context(tus)
+
+    # Pass 2: rules per TU against the shared context.
+    findings: list[rules.Finding] = []
+    for tu in tus:
+        raw_lines = tu.path.read_text(
+            encoding="utf-8", errors="replace").splitlines()
+        findings.extend(rules.check_tu(tu, raw_lines, repo))
 
     unsuppressed = [f for f in findings if not f.suppressed]
     if args.json:

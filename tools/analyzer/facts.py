@@ -6,16 +6,32 @@ facts only and never look at the frontend. Every fact carries a 1-based
 line number in the original file so findings and suppressions line up
 with what the developer sees.
 
-The schema is deliberately small: it holds exactly what the four SA
-rules need (guard scopes, condition_variable waits with their loop
-context, call sites, variable declarations and assignments), plus the
-comment/string-stripped text for the pattern-shaped parts of SA002.
+The schema is deliberately small: it holds exactly what the SA rules
+need (guard scopes, condition_variable waits with their loop context,
+call sites, variable declarations and assignments; member-field accesses
+and atomic operations with their memory orders for the concurrency
+protocol rules SA005/SA006; annotation facts for declared locking intent
+and atomic roles), plus the comment/string-stripped text for the
+pattern-shaped parts of SA002/SA007.
+
+Annotation grammar (raw-comment facts, shared verbatim by both
+frontends so they can never disagree about declared intent):
+
+    // trng-analyzer: guards(<field>, <mutex>)
+        Class-level locking contract: every access to member <field>
+        must happen while a scoped guard on <mutex> is held (SA005).
+
+    // trng-analyzer: atomic(<role>)
+        On a std::atomic declaration line (or the line directly above):
+        declares the member's protocol role, one of counter, gauge,
+        flag, index-producer, index-consumer (SA006).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import pathlib
+import re
 
 
 @dataclasses.dataclass(frozen=True)
@@ -79,6 +95,51 @@ class Assign:
     func_end_line: int
 
 
+@dataclasses.dataclass(frozen=True)
+class FieldAccess:
+    """A read or write of a trailing-underscore member field inside a
+    function body (the repository's naming convention makes member state
+    recognizable in both frontends). Accesses through another object
+    (`other.field_`) are not recorded: a guard held here says nothing
+    about that object's state."""
+    name: str
+    line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class AtomicOp:
+    """One operation on a (presumed) std::atomic object.
+
+    `order`/`fail_order` are the textual memory-order constants found in
+    the argument list ("relaxed", "acquire", ...); None means the order
+    was left implicit (seq_cst by language default). `kind` classifies
+    the op as "load", "store" or "rmw" (read-modify-write)."""
+    member: str          # base name of the receiver, e.g. "stopped_"
+    op: str              # "load" | "store" | "fetch_add" | "exchange" ...
+    kind: str            # "load" | "store" | "rmw"
+    order: str | None
+    fail_order: str | None
+    line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class AtomicDecl:
+    """A std::atomic declaration (member or local) with its resolved role
+    annotation; role is None when the declaration carries no
+    `// trng-analyzer: atomic(<role>)` marker."""
+    name: str
+    line: int
+    role: str | None
+
+
+@dataclasses.dataclass(frozen=True)
+class GuardAnnot:
+    """A `// trng-analyzer: guards(field, mutex)` intent declaration."""
+    field: str
+    mutex: str
+    line: int
+
+
 @dataclasses.dataclass
 class TUFacts:
     path: pathlib.Path
@@ -89,6 +150,11 @@ class TUFacts:
     calls: list[Call] = dataclasses.field(default_factory=list)
     decls: list[VarDecl] = dataclasses.field(default_factory=list)
     assigns: list[Assign] = dataclasses.field(default_factory=list)
+    field_accesses: list[FieldAccess] = dataclasses.field(
+        default_factory=list)
+    atomic_ops: list[AtomicOp] = dataclasses.field(default_factory=list)
+    atomic_decls: list[AtomicDecl] = dataclasses.field(default_factory=list)
+    guard_annots: list[GuardAnnot] = dataclasses.field(default_factory=list)
     frontend: str = "lite"   # which frontend produced these facts
 
     def decl_types(self) -> dict[str, str]:
@@ -159,3 +225,125 @@ def strip_comments_and_strings(text: str) -> str:
 
 def line_of(text: str, offset: int) -> int:
     return text.count("\n", 0, offset) + 1
+
+
+# ------------------------------------------------------- shared scanners
+#
+# Annotation parsing, atomic-declaration detection and memory-order
+# classification are text-shaped, not AST-shaped: both frontends call
+# these helpers verbatim so they can never disagree about declared
+# intent or about which operations are atomic protocol ops.
+
+ATOMIC_ROLES = ("counter", "gauge", "flag", "index-producer",
+                "index-consumer")
+
+GUARDS_ANNOT_RE = re.compile(
+    r"//\s*trng-analyzer:\s*guards\(\s*(\w+)\s*,\s*([\w.:>\-]+)\s*\)")
+
+ATOMIC_ANNOT_RE = re.compile(
+    r"//\s*trng-analyzer:\s*atomic\(\s*([\w\-]+)\s*\)")
+
+# Matches the declaration of an atomic object: `std::atomic<T> name...`
+# including brace-init members and arrays-behind-unique_ptr
+# (`std::unique_ptr<std::atomic<u64>[]> counts_;`); the trailing
+# character class rejects call expressions like `make_unique<...>(...)`
+# only when the name is followed by a template arg list, which `\w+`
+# cannot span — a name directly followed by `(` is a brace-less direct
+# init, which is a declaration too.
+_ATOMIC_DECL_RE = re.compile(
+    r"\batomic\s*<[^;{}]*?>\s*(?:\[\s*\]\s*>\s*)?&?\s*(\w+)\s*"
+    r"(?:\{[^;{}]*\})?\s*[;=({,)]")
+
+_MEM_ORDER_RE = re.compile(
+    r"\bmemory_order(?:_|\s*::\s*)"
+    r"(relaxed|consume|acquire|release|acq_rel|seq_cst)\b")
+
+# member-call name -> (kind, order-arg index, fail-order-arg index)
+_ATOMIC_OP_TABLE = {
+    "load":                  ("load", 0, None),
+    "store":                 ("store", 1, None),
+    "exchange":              ("rmw", 1, None),
+    "fetch_add":             ("rmw", 1, None),
+    "fetch_sub":             ("rmw", 1, None),
+    "fetch_and":             ("rmw", 1, None),
+    "fetch_or":              ("rmw", 1, None),
+    "fetch_xor":             ("rmw", 1, None),
+    "compare_exchange_weak": ("rmw", 2, 3),
+    "compare_exchange_strong": ("rmw", 2, 3),
+}
+
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def head_name(expr: str) -> str | None:
+    """First identifier of an expression — the buffer/object a pointer
+    expression is rooted in (`words + delivered` -> "words",
+    `dst_[i]` -> "dst_")."""
+    m = _IDENT_RE.search(expr or "")
+    return m.group(0) if m else None
+
+
+def tail_name(expr: str) -> str | None:
+    """Last identifier of a receiver chain after stripping subscripts —
+    the member actually operated on (`metrics_.producer(i).words_drawn`
+    -> "words_drawn", `counts_[b]` -> "counts_")."""
+    if not expr:
+        return None
+    e = re.sub(r"\[[^\]]*\]", "", expr)
+    names = _IDENT_RE.findall(e)
+    return names[-1] if names else None
+
+
+def _order_of(arg: str | None) -> str | None:
+    if not arg:
+        return None
+    m = _MEM_ORDER_RE.search(arg)
+    return m.group(1) if m else None
+
+
+def scan_annotations(tu: TUFacts, raw: str) -> None:
+    """Fills tu.atomic_decls and tu.guard_annots from the raw (comments
+    intact) and stripped texts. An atomic(<role>) marker binds to a
+    declaration on the same line or the line directly below the marker's
+    line (the repo style puts annotations above the member)."""
+    raw_lines = raw.splitlines()
+    stripped_lines = tu.stripped.splitlines()
+
+    role_at = {}         # line number -> role text
+    for i, text in enumerate(raw_lines, start=1):
+        gm = GUARDS_ANNOT_RE.search(text)
+        if gm:
+            tu.guard_annots.append(GuardAnnot(
+                field=gm.group(1), mutex=gm.group(2), line=i))
+        am = ATOMIC_ANNOT_RE.search(text)
+        if am:
+            role_at[i] = am.group(1)
+
+    for i, text in enumerate(stripped_lines, start=1):
+        for dm in _ATOMIC_DECL_RE.finditer(text):
+            role = role_at.get(i) or role_at.get(i - 1)
+            tu.atomic_decls.append(AtomicDecl(
+                name=dm.group(1), line=i, role=role))
+
+
+def derive_atomic_ops(tu: TUFacts) -> None:
+    """Classifies recorded member calls as atomic operations. Only calls
+    whose receiver base is a declared atomic in this TU are kept when
+    the TU declares any atomics; the repo-wide rule pass re-filters
+    against the cross-TU atomic table, so over-collection here is
+    harmless and under-collection is not possible for annotated code."""
+    for call in tu.calls:
+        entry = _ATOMIC_OP_TABLE.get(call.callee)
+        if entry is None or call.recv is None:
+            continue
+        kind, oidx, fidx = entry
+        member = tail_name(call.recv)
+        if member is None:
+            continue
+        order = _order_of(call.args[oidx]) if oidx is not None and \
+            len(call.args) > oidx else None
+        fail_order = _order_of(call.args[fidx]) if fidx is not None and \
+            len(call.args) > fidx else None
+        tu.atomic_ops.append(AtomicOp(
+            member=member, op=call.callee, kind=kind,
+            order=order, fail_order=fail_order, line=call.line))

@@ -192,6 +192,32 @@ def parse(path: pathlib.Path, rel: pathlib.PurePosixPath,
                         stmt_ancestors, cursor)))
             return
 
+        if kind == ck.MEMBER_REF_EXPR:
+            name = cursor.spelling or ""
+            if name.endswith("_"):
+                fs, fe = func_span_of(cursor)
+                if (fs, fe) != (0, 0):
+                    kids = [c for c in cursor.get_children()
+                            if c.kind not in (ck.TYPE_REF,
+                                              ck.NAMESPACE_REF,
+                                              ck.TEMPLATE_REF)]
+
+                    def implicit_this(node) -> bool:
+                        if node.kind == ck.CXX_THIS_EXPR:
+                            return True
+                        inner = list(node.get_children())
+                        return len(inner) == 1 and implicit_this(inner[0])
+
+                    # Record only own-member accesses: no base child at
+                    # all (implicit this) or an explicit `this->`; an
+                    # access through another object says nothing about
+                    # this object's lockset.
+                    if not kids or implicit_this(kids[0]):
+                        tu_facts.field_accesses.append(facts.FieldAccess(
+                            name=name,
+                            line=cursor.location.line))
+            return
+
         if kind == ck.BINARY_OPERATOR or \
                 kind == ck.COMPOUND_ASSIGNMENT_OPERATOR:
             tokens = list(cursor.get_tokens())
@@ -212,4 +238,6 @@ def parse(path: pathlib.Path, rel: pathlib.PurePosixPath,
                         func_start_line=fs, func_end_line=fe))
 
     walk(unit.cursor, [])
+    facts.scan_annotations(tu_facts, raw)
+    facts.derive_atomic_ops(tu_facts)
     return tu_facts

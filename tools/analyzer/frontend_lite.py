@@ -46,6 +46,13 @@ _DECL_RE = re.compile(
     r"condition_variable(?:_any)?|mutex|auto))\b"
     r"\s*[*&]?\s+(\w+)\s*(?=[=;,()\[{])")
 
+# Trailing-underscore identifiers (the repo's member naming convention)
+# not reached through `.`/`->`/`::` — i.e. implicit-this accesses. The
+# `this->` spelling is matched separately since the generic pattern
+# rejects anything preceded by `>`.
+_FIELD_RE = re.compile(r"(?<![\w.>:])([A-Za-z_]\w*_)\b")
+_THIS_FIELD_RE = re.compile(r"\bthis\s*->\s*([A-Za-z_]\w*_)\b")
+
 _ASSIGN_RE = re.compile(
     r"(?:^|[;{}])\s*"
     r"([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*|\[[^\]]*\])*)\s*"
@@ -302,4 +309,23 @@ def parse(path: pathlib.Path, rel: pathlib.PurePosixPath,
             line=facts.line_of(stripped, off),
             func_start_line=fs, func_end_line=fe))
 
+    # Member-field accesses: only inside function bodies (class-scope
+    # declarations and constructor init-lists are not accesses under a
+    # runtime lockset, and file scope returns (0, 0)).
+    seen_field = set()
+    for pat in (_FIELD_RE, _THIS_FIELD_RE):
+        for m in pat.finditer(stripped):
+            off = m.start(1)
+            fs, _fe = _enclosing_function(func_spans, stripped, off)
+            if fs == 0:
+                continue
+            key = (m.group(1), off)
+            if key in seen_field:
+                continue
+            seen_field.add(key)
+            tu.field_accesses.append(facts.FieldAccess(
+                name=m.group(1), line=facts.line_of(stripped, off)))
+
+    facts.scan_annotations(tu, raw)
+    facts.derive_atomic_ops(tu)
     return tu

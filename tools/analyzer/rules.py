@@ -36,6 +36,38 @@
       a mutex turns the lock into a convoy and, for push-vs-drain
       cycles, a deadlock.
 
+  SA005 lockset-consistency
+      Per shared member field, the set of guards held at each access
+      across a TU must be consistent: either every access is unguarded
+      (thread-confined or pre-start state) or every access holds a
+      common mutex. Mixed guarded/unguarded access and non-intersecting
+      guard sets are exactly the shapes TSan only catches when a test
+      interleaves them. A `// trng-analyzer: guards(field, mu)`
+      annotation turns inference into a declared contract: every access
+      must then hold `mu`. Atomics and the sync objects themselves
+      (`*mu_`, `*cv_`, ...) are exempt by construction.
+
+  SA006 atomics-discipline
+      Every std::atomic declaration carries a declared role
+      (`// trng-analyzer: atomic(<role>)`): counter and gauge tolerate
+      any order (monotonic tallies / racy-by-design snapshots); flag
+      requires release-publish/acquire-observe (seq_cst, or the default,
+      is fine — relaxed is not); index-producer/index-consumer (the
+      lock-free SPSC ring protocol) additionally require the order to
+      be spelled explicitly at every operation. Universally invalid
+      combinations (acquire store, release load) are flagged regardless
+      of role. This is the pre-flight gate for the ROADMAP lock-free
+      ring refactor.
+
+  SA007 entropy-leak-taint
+      Buffers that receive raw entropy (BitSource::generate_into
+      output, WordRing payloads, EntropyPool::draw destinations) taint
+      every value derived from them; tainted values must not reach
+      logging (printf family, stream inserts), metrics/JSON
+      serialization helpers, to_string/format, or exception messages.
+      Counts and verdicts are fine; words are not. This is the
+      paper's raw-vs-conditioned boundary as a compile-time check.
+
 Suppressions use the same line-scoped justified-marker contract as
 trng_lint:  // trng-analyzer: allow(SA001) -- why this one is fine
 """
@@ -86,6 +118,36 @@ def _under(rel: pathlib.PurePosixPath, *prefixes: str) -> bool:
     return any(str(rel).startswith(p) for p in prefixes)
 
 
+@dataclasses.dataclass
+class RepoContext:
+    """Cross-TU annotation knowledge: locking contracts and atomic roles
+    are declared in headers but checked at use sites in other TUs, so
+    the driver builds this table in a pre-pass over every file before
+    any rule runs. When a TU is checked standalone (tests, single-file
+    mode) the context degrades gracefully to that TU's own facts."""
+    guards: dict[str, set[str]] = dataclasses.field(default_factory=dict)
+    roles: dict[str, str | None] = dataclasses.field(default_factory=dict)
+    atomics: set[str] = dataclasses.field(default_factory=set)
+
+    def absorb(self, tu: facts.TUFacts) -> None:
+        for ga in tu.guard_annots:
+            mutex = facts.tail_name(ga.mutex) or ga.mutex
+            self.guards.setdefault(ga.field, set()).add(mutex)
+        for ad in tu.atomic_decls:
+            self.atomics.add(ad.name)
+            # First annotated declaration wins; an unannotated redecl
+            # must not erase a role declared at the canonical site.
+            if ad.role is not None or ad.name not in self.roles:
+                self.roles[ad.name] = ad.role
+
+
+def build_repo_context(tus: list[facts.TUFacts]) -> RepoContext:
+    repo = RepoContext()
+    for tu in tus:
+        repo.absorb(tu)
+    return repo
+
+
 class Rule:
     rule_id: str = "SA000"
     name: str = "unnamed"
@@ -94,7 +156,8 @@ class Rule:
     def applies_to(self, rel: pathlib.PurePosixPath) -> bool:
         raise NotImplementedError
 
-    def check(self, tu: facts.TUFacts) -> list[tuple[int, str]]:
+    def check(self, tu: facts.TUFacts,
+              repo: RepoContext) -> list[tuple[int, str]]:
         raise NotImplementedError
 
 
@@ -121,7 +184,7 @@ class CondvarDiscipline(Rule):
         low = base.lower()
         return "cv" in low or "cond" in low
 
-    def check(self, tu):
+    def check(self, tu, repo):
         findings = []
         guard_vars = {g.var for g in tu.guards}
         for w in tu.waits:
@@ -209,7 +272,7 @@ class UnitSafety(Rule):
         return _under(rel, "src/core/", "src/service/", "src/stattests/",
                       "src/common/")
 
-    def check(self, tu):
+    def check(self, tu, repo):
         findings = []
         for pattern, message in _CONV_PATTERNS:
             for m in pattern.finditer(tu.stripped):
@@ -293,7 +356,7 @@ class FpTaint(Rule):
     def applies_to(self, rel):
         return _under(rel, "src/core/")
 
-    def check(self, tu):
+    def check(self, tu, repo):
         findings = []
         types = tu.decl_types()
 
@@ -409,7 +472,7 @@ class LockScope(Rule):
     def applies_to(self, rel):
         return _under(rel, "src/core/", "src/service/")
 
-    def check(self, tu):
+    def check(self, tu, repo):
         findings = []
         if not tu.guards:
             return findings
@@ -452,11 +515,340 @@ class LockScope(Rule):
         return findings
 
 
+# ----------------------------------------------------------------- SA005
+
+# Synchronization objects are what guards are made of, not what they
+# protect; their access pattern (locked in some places, notified outside
+# the lock in others) is correct by design.
+_SYNC_SUFFIXES = ("mu_", "cv_", "mutex_", "cond_", "lock_")
+
+
+class LocksetConsistency(Rule):
+    rule_id = "SA005"
+    name = "lockset-consistency"
+    doc = ("every access to a shared member field must hold a consistent "
+           "guard set: all-unguarded (thread-confined) or a common mutex; "
+           "declare intent with // trng-analyzer: guards(field, mu)")
+
+    def applies_to(self, rel):
+        return _under(rel, "src/service/", "src/stattests/")
+
+    def check(self, tu, repo):
+        findings = []
+        guards = [(g.line, g.scope_end_line,
+                   facts.tail_name(g.mutex) or g.mutex)
+                  for g in tu.guards]
+
+        def lockset(line: int) -> set[str]:
+            return {m for (a, b, m) in guards if a <= line <= b}
+
+        by_field: dict[str, list[facts.FieldAccess]] = {}
+        for fa in tu.field_accesses:
+            if fa.name.endswith(_SYNC_SUFFIXES):
+                continue
+            if fa.name in repo.atomics:
+                continue   # SA006 owns atomics; locksets don't apply
+            by_field.setdefault(fa.name, []).append(fa)
+
+        for field in sorted(by_field):
+            accesses = sorted(by_field[field], key=lambda fa: fa.line)
+            sets = [lockset(fa.line) for fa in accesses]
+
+            declared = repo.guards.get(field)
+            if declared:
+                for fa, held in zip(accesses, sets):
+                    if not (held & declared):
+                        findings.append((fa.line, (
+                            f"'{field}' accessed without its declared "
+                            f"guard {'/'.join(sorted(declared))} "
+                            f"(guards(...) annotation); held here: "
+                            f"{', '.join(sorted(held)) or 'nothing'}")))
+                continue
+
+            if all(not s for s in sets):
+                continue   # consistently unguarded: thread-confined state
+
+            if any(not s for s in sets):
+                first = next(fa for fa, s in zip(accesses, sets) if not s)
+                locked = next(s for s in sets if s)
+                findings.append((first.line, (
+                    f"mixed guarded/unguarded access to '{field}': this "
+                    f"access holds no lock while other accesses in this "
+                    f"TU hold {', '.join(sorted(locked))}; either every "
+                    f"access locks or none does (annotate guards("
+                    f"{field}, ...) to declare the contract)")))
+                continue
+
+            inter = set(sets[0])
+            for fa, held in zip(accesses[1:], sets[1:]):
+                if not (inter & held):
+                    findings.append((fa.line, (
+                        f"disjoint guard sets for '{field}': this access "
+                        f"holds {', '.join(sorted(held))} but earlier "
+                        f"accesses hold {', '.join(sorted(inter))}; "
+                        f"non-intersecting locksets do not exclude each "
+                        f"other")))
+                    break
+                inter &= held
+        return findings
+
+
+# ----------------------------------------------------------------- SA006
+
+# Orders that actually synchronize for each operation kind; None means
+# the order was left implicit, i.e. seq_cst — always strong enough.
+_STORE_OK = {None, "release", "seq_cst"}
+_LOAD_OK = {None, "acquire", "seq_cst"}
+_RMW_OK = {None, "acq_rel", "seq_cst", "release", "acquire"}
+
+# Combinations the standard rejects or demotes regardless of intent.
+_STORE_INVALID = {"acquire", "consume", "acq_rel"}
+_LOAD_INVALID = {"release", "acq_rel"}
+
+
+class AtomicsDiscipline(Rule):
+    rule_id = "SA006"
+    name = "atomics-discipline"
+    doc = ("every std::atomic carries a role annotation (counter, gauge, "
+           "flag, index-producer, index-consumer); relaxed is legal only "
+           "for counter/gauge, flag needs release-store/acquire-load, "
+           "index-* additionally require explicit orders everywhere")
+
+    def applies_to(self, rel):
+        return _under(rel, "src/")
+
+    def check(self, tu, repo):
+        findings = []
+        for ad in tu.atomic_decls:
+            if ad.role is None:
+                findings.append((ad.line, (
+                    f"std::atomic '{ad.name}' has no role annotation; "
+                    f"declare // trng-analyzer: atomic(<role>) with role "
+                    f"in {{{', '.join(facts.ATOMIC_ROLES)}}} so the "
+                    f"memory-order protocol is checkable")))
+            elif ad.role not in facts.ATOMIC_ROLES:
+                findings.append((ad.line, (
+                    f"unknown atomic role '{ad.role}' on '{ad.name}'; "
+                    f"valid roles: {', '.join(facts.ATOMIC_ROLES)}")))
+
+        for op in tu.atomic_ops:
+            role = repo.roles.get(op.member)
+            if op.member not in repo.atomics:
+                continue   # .load()/.store() on something non-atomic
+
+            # Standard-level sanity first, independent of role.
+            if op.kind == "store" and op.order in _STORE_INVALID:
+                findings.append((op.line, (
+                    f"'{op.member}.{op.op}' with memory_order_{op.order}: "
+                    f"a store cannot acquire; this is undefined or "
+                    f"silently demoted")))
+                continue
+            if op.kind == "load" and op.order in _LOAD_INVALID:
+                findings.append((op.line, (
+                    f"'{op.member}.{op.op}' with memory_order_{op.order}: "
+                    f"a load cannot release; this is undefined or "
+                    f"silently demoted")))
+                continue
+            if op.fail_order in ("release", "acq_rel"):
+                findings.append((op.line, (
+                    f"'{op.member}.{op.op}' failure order "
+                    f"memory_order_{op.fail_order}: the failure load of a "
+                    f"compare-exchange cannot release")))
+                continue
+
+            if role is None or role in ("counter", "gauge"):
+                # counter/gauge: monotonic tallies and racy-by-design
+                # snapshots — any order (typically relaxed) is fine.
+                # Unannotated atomics were already flagged at the decl.
+                continue
+
+            ok = {"load": _LOAD_OK, "store": _STORE_OK,
+                  "rmw": _RMW_OK}[op.kind]
+            if role == "flag":
+                if op.order is not None and op.order not in ok:
+                    findings.append((op.line, (
+                        f"role(flag) '{op.member}.{op.op}' uses "
+                        f"memory_order_{op.order}; a flag publishes "
+                        f"state, so stores need release (or seq_cst/"
+                        f"default) and loads need acquire — relaxed "
+                        f"orders lose the happens-before edge")))
+                continue
+
+            # index-producer / index-consumer: the SPSC ring protocol.
+            if op.order is None:
+                findings.append((op.line, (
+                    f"role({role}) '{op.member}.{op.op}' leaves the "
+                    f"memory order implicit; ring index operations must "
+                    f"spell the acquire/release protocol explicitly so "
+                    f"the pairing is auditable")))
+                continue
+            if op.order not in ok - {None}:
+                findings.append((op.line, (
+                    f"role({role}) '{op.member}.{op.op}' uses "
+                    f"memory_order_{op.order}; the publish protocol "
+                    f"requires release stores, acquire loads and acq_rel "
+                    f"read-modify-writes — nothing weaker")))
+        return findings
+
+
+# ----------------------------------------------------------------- SA007
+
+_TAINT_SOURCE_CALLS = {"generate_into", "pop_some", "draw",
+                       "draw_nonblocking"}
+
+# Definitions of the entropy-carrying interfaces taint their own word
+# buffer parameter: the body of generate_into writes raw entropy into
+# it, the body of push reads raw entropy out of it.
+_TAINT_DEF_RE = re.compile(
+    r"\b(generate_into|push|pop_some|draw|draw_nonblocking)\s*"
+    r"\(([^)]*)\)[^;{}]*\{")
+
+_WORD_PTR_PARAM_RE = re.compile(
+    r"(?:const\s+)?(?:std\s*::\s*)?uint64_t\s*\*\s*(\w+)")
+
+_PRINT_SINKS = {"printf", "fprintf", "sprintf", "snprintf", "puts",
+                "fputs"}
+_EXCEPTION_SINKS = {"runtime_error", "logic_error", "invalid_argument",
+                    "out_of_range", "domain_error", "length_error",
+                    "range_error"}
+_FORMAT_SINKS = {"to_string", "format", "append_u64", "append_kv"}
+
+_COPY_DST_FIRST = {"memcpy", "memmove"}
+_COPY_DST_LAST = {"copy", "copy_n"}
+
+# The lite frontend cannot tell a function *declaration* from a call, so
+# `pop_some(std::uint64_t* out, ...)` arrives as a call whose first
+# "argument" is a parameter declaration. Its head identifier is then a
+# type or namespace, never a buffer — reject those so both frontends
+# seed identically.
+_TYPE_HEADS = {"const", "constexpr", "std", "common", "trng", "core",
+               "unsigned", "signed", "void", "bool", "char", "short",
+               "int", "long", "float", "double", "auto", "size_t",
+               "uint8_t", "uint32_t", "uint64_t"}
+
+_STREAM_NAMES = {"cout", "cerr", "clog", "os", "oss"}
+_STREAM_INSERT_RE = re.compile(r"\b([A-Za-z_]\w*)\s*<<(?![<=])")
+
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def _mentions(expr: str, tainted: set[str]) -> str | None:
+    for name in _IDENT_RE.findall(expr or ""):
+        if name in tainted:
+            return name
+    return None
+
+
+class EntropyLeakTaint(Rule):
+    rule_id = "SA007"
+    name = "entropy-leak-taint"
+    doc = ("values reaching generate_into output buffers, WordRing "
+           "payloads or EntropyPool::draw destinations are "
+           "entropy-tainted and must not flow into logging, JSON/metrics "
+           "serialization, exception messages or stdout; counts and "
+           "verdicts are fine, words are not")
+
+    def applies_to(self, rel):
+        return _under(rel, "src/")
+
+    def _seed(self, tu: facts.TUFacts) -> set[str]:
+        tainted: set[str] = set()
+        for c in tu.calls:
+            if c.callee in _TAINT_SOURCE_CALLS and c.args:
+                name = facts.head_name(c.args[0])
+                if name and name not in _TYPE_HEADS:
+                    tainted.add(name)
+            elif c.callee == "push" and c.args and c.recv and \
+                    "ring" in c.recv.lower():
+                name = facts.head_name(c.args[0])
+                if name and name not in _TYPE_HEADS:
+                    tainted.add(name)
+        for m in _TAINT_DEF_RE.finditer(tu.stripped):
+            pm = _WORD_PTR_PARAM_RE.search(m.group(2))
+            if pm:
+                tainted.add(pm.group(1))
+        return tainted
+
+    def check(self, tu, repo):
+        findings = []
+        tainted = self._seed(tu)
+        if not tainted:
+            return findings
+
+        # Propagate through assignments and buffer copies to fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            for a in tu.assigns:
+                lhs = facts.head_name(a.lhs)
+                if lhs and lhs not in tainted and _mentions(a.rhs, tainted):
+                    tainted.add(lhs)
+                    changed = True
+            for c in tu.calls:
+                if c.callee in _COPY_DST_FIRST and len(c.args) >= 2:
+                    dst, srcs = c.args[0], c.args[1:]
+                elif c.callee in _COPY_DST_LAST and len(c.args) >= 2:
+                    dst, srcs = c.args[-1], c.args[:-1]
+                else:
+                    continue
+                dst_name = facts.head_name(dst)
+                if dst_name and dst_name not in tainted and \
+                        any(_mentions(s, tainted) for s in srcs):
+                    tainted.add(dst_name)
+                    changed = True
+
+        # Sink 1: calls that format, print or throw the value.
+        sinks = _PRINT_SINKS | _EXCEPTION_SINKS | _FORMAT_SINKS
+        flagged_lines: set[int] = set()
+        for c in tu.calls:
+            if c.callee not in sinks:
+                continue
+            hit = next((n for a in c.args
+                        if (n := _mentions(a, tainted))), None)
+            if hit is None or c.line in flagged_lines:
+                continue
+            flagged_lines.add(c.line)
+            if c.callee in _PRINT_SINKS:
+                how = "printed"
+            elif c.callee in _EXCEPTION_SINKS:
+                how = "put into an exception message"
+            else:
+                how = "serialized"
+            findings.append((c.line, (
+                f"entropy-tainted '{hit}' is {how} via {c.callee}(); "
+                f"raw words must never leave the drawn-entropy path — "
+                f"log counts or verdicts instead")))
+
+        # Sink 2: stream inserts (text-based over the shared stripped
+        # view so both frontends agree by construction).
+        for m in _STREAM_INSERT_RE.finditer(tu.stripped):
+            recv = m.group(1)
+            if recv not in _STREAM_NAMES and \
+                    not recv.endswith(("_os", "_oss", "stream")):
+                continue
+            stmt_end = tu.stripped.find(";", m.end())
+            if stmt_end < 0:
+                stmt_end = len(tu.stripped)
+            hit = _mentions(tu.stripped[m.end():stmt_end], tainted)
+            line = facts.line_of(tu.stripped, m.start())
+            if hit is None or line in flagged_lines:
+                continue
+            flagged_lines.add(line)
+            findings.append((line, (
+                f"entropy-tainted '{hit}' streamed to '{recv}'; raw "
+                f"words must never leave the drawn-entropy path — log "
+                f"counts or verdicts instead")))
+        return findings
+
+
 RULES: list[Rule] = [
     CondvarDiscipline(),
     UnitSafety(),
     FpTaint(),
     LockScope(),
+    LocksetConsistency(),
+    AtomicsDiscipline(),
+    EntropyLeakTaint(),
 ]
 
 
@@ -503,12 +895,15 @@ def apply_suppressions(path: pathlib.Path, findings: list[Finding],
     return out
 
 
-def check_tu(tu: facts.TUFacts, raw_lines: list[str]) -> list[Finding]:
+def check_tu(tu: facts.TUFacts, raw_lines: list[str],
+             repo: RepoContext | None = None) -> list[Finding]:
+    if repo is None:
+        repo = build_repo_context([tu])
     findings: list[Finding] = []
     for rule in RULES:
         if not rule.applies_to(tu.rel):
             continue
-        for line, message in rule.check(tu):
+        for line, message in rule.check(tu, repo):
             findings.append(Finding(tu.path, line, rule.rule_id,
                                     rule.name, message))
     has_markers = any(ALLOW_RE.search(line) for line in raw_lines)

@@ -37,6 +37,18 @@ EXPECTED = sorted([
     ("src/service/sa004_bad.cpp", "SA004"),   # push under lock
     ("src/service/sa004_bad.cpp", "SA004"),   # sleep_for under lock
     ("src/service/sa004_bad.cpp", "SA004"),   # wait holding a second lock
+    ("src/service/sa005_bad.cpp", "SA005"),   # mixed guarded/unguarded
+    ("src/service/sa005_bad.cpp", "SA005"),   # disjoint guard sets
+    ("src/service/sa005_bad.cpp", "SA005"),   # declared guards() violated
+    ("src/service/sa006_bad.cpp", "SA006"),   # atomic without a role
+    ("src/service/sa006_bad.cpp", "SA006"),   # relaxed store on a flag
+    ("src/service/sa006_bad.cpp", "SA006"),   # relaxed load on a flag
+    ("src/service/sa006_bad.cpp", "SA006"),   # implicit-order index store
+    ("src/service/sa006_bad.cpp", "SA006"),   # relaxed index load
+    ("src/service/sa007_bad.cpp", "SA007"),   # raw word to printf
+    ("src/service/sa007_bad.cpp", "SA007"),   # raw word to a stream
+    ("src/service/sa007_bad.cpp", "SA007"),   # raw word to to_string
+    ("src/service/sa007_bad.cpp", "SA007"),   # raw word in an exception
     ("src/service/suppressed_bad.cpp", "SA000"),
     ("src/service/dangling_allow.cpp", "SA000"),
 ])
@@ -47,6 +59,9 @@ MUST_BE_CLEAN = [
     "src/core/sa002_good.cpp",
     "src/core/sa003_good.cpp",
     "src/service/sa004_good.cpp",
+    "src/service/sa005_good.cpp",
+    "src/service/sa006_good.cpp",
+    "src/service/sa007_good.cpp",
     "src/service/suppressed_ok.cpp",
 ]
 
@@ -145,7 +160,8 @@ def main() -> int:
     rules_proc = subprocess.run(
         [sys.executable, str(ANALYZE), "--list-rules"],
         capture_output=True, text=True)
-    for rule_id in ("SA001", "SA002", "SA003", "SA004"):
+    for rule_id in ("SA001", "SA002", "SA003", "SA004",
+                    "SA005", "SA006", "SA007"):
         if rule_id not in rules_proc.stdout:
             failures.append(f"--list-rules does not document {rule_id}")
 

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Benchmark regression tripwire over BENCH_throughput.json.
+
+Compares a freshly measured BENCH_throughput.json against the committed
+baseline and fails when a headline metric regresses by more than the
+allowed fraction (default 25%). The headline metrics are the three
+numbers the ROADMAP perf items are tracked by:
+
+  - carry-chain-raw batched ns/bit      (lower is better)
+  - whole-battery word-parallel ns/bit  (lower is better)
+  - pool_draw paced speedup at the largest producer count
+                                        (higher is better)
+
+The gate is deliberately loose: microbenchmarks on shared CI runners
+jitter, and a 25% band catches algorithmic regressions (a dropped
+batching path, a serialized battery) without flaking on scheduler noise.
+
+    python3 tools/bench_diff.py --baseline BENCH_throughput.json \
+        --fresh build/BENCH_throughput.json
+    python3 tools/bench_diff.py --selftest     # prove the tripwire trips
+
+Exit codes: 0 within budget, 1 regression (or malformed input), 2 usage
+error, 77 skip (no fresh measurement available — benches did not run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import pathlib
+import sys
+
+SKIP_EXIT = 77
+
+
+def _get(d: dict, path: str):
+    """Dotted-path lookup; raises KeyError with the full path on miss."""
+    cur = d
+    for part in path.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            raise KeyError(path)
+        cur = cur[part]
+    return cur
+
+
+def headline_metrics(doc: dict) -> dict[str, tuple[float, str]]:
+    """name -> (value, direction); direction is 'lower' or 'higher'."""
+    out: dict[str, tuple[float, str]] = {}
+
+    sources = doc.get("sources", [])
+    carry = next((s for s in sources if s.get("id") == "carry-chain-raw"),
+                 None)
+    if carry is None or "batched_ns_per_bit" not in carry:
+        raise KeyError("sources[id=carry-chain-raw].batched_ns_per_bit")
+    out["carry-chain-raw batched ns/bit"] = (
+        float(carry["batched_ns_per_bit"]), "lower")
+
+    out["whole-battery wordpar ns/bit"] = (
+        float(_get(doc, "battery.whole_battery.wordpar_ns_per_bit")),
+        "lower")
+
+    rows = _get(doc, "pool_draw.paced.rows")
+    if not rows:
+        raise KeyError("pool_draw.paced.rows")
+    top = max(rows, key=lambda r: r.get("producers", 0))
+    out[f"pool_draw paced speedup @ {top['producers']} producers"] = (
+        float(top["speedup_vs_1"]), "higher")
+    return out
+
+
+def compare(baseline: dict, fresh: dict,
+            max_regression: float) -> list[str]:
+    """Human-readable report lines; lines starting with FAIL are
+    regressions beyond the budget."""
+    base_metrics = headline_metrics(baseline)
+    fresh_metrics = headline_metrics(fresh)
+    lines = []
+    for name, (base_value, direction) in base_metrics.items():
+        if name not in fresh_metrics:
+            lines.append(f"FAIL {name}: missing from fresh measurement")
+            continue
+        fresh_value = fresh_metrics[name][0]
+        if base_value <= 0:
+            lines.append(f"SKIP {name}: non-positive baseline "
+                         f"{base_value}")
+            continue
+        if direction == "lower":
+            change = (fresh_value - base_value) / base_value
+            arrow = "slower" if change > 0 else "faster"
+        else:
+            change = (base_value - fresh_value) / base_value
+            arrow = "worse" if change > 0 else "better"
+        verdict = "FAIL" if change > max_regression else "ok"
+        lines.append(
+            f"{verdict:>4} {name}: baseline {base_value:g}, fresh "
+            f"{fresh_value:g} ({abs(change) * 100:.1f}% {arrow}, budget "
+            f"{max_regression * 100:.0f}%)")
+    return lines
+
+
+def selftest(baseline: dict, max_regression: float) -> int:
+    """Proves the tripwire trips: a copy of the baseline perturbed past
+    the budget must FAIL on every headline metric, and an unperturbed
+    copy must pass. Runs in-memory; no files are written."""
+    clean = compare(baseline, copy.deepcopy(baseline), max_regression)
+    if any(line.startswith("FAIL") for line in clean):
+        print("bench_diff selftest: identical inputs reported a "
+              "regression:", file=sys.stderr)
+        print("\n".join(clean), file=sys.stderr)
+        return 1
+
+    bad = copy.deepcopy(baseline)
+    factor = 1.0 + 2 * max_regression
+    carry = next(s for s in bad["sources"]
+                 if s["id"] == "carry-chain-raw")
+    carry["batched_ns_per_bit"] *= factor
+    bad["battery"]["whole_battery"]["wordpar_ns_per_bit"] *= factor
+    top = max(bad["pool_draw"]["paced"]["rows"],
+              key=lambda r: r["producers"])
+    top["speedup_vs_1"] /= factor
+
+    tripped = compare(baseline, bad, max_regression)
+    n_fail = sum(1 for line in tripped if line.startswith("FAIL"))
+    if n_fail != 3:
+        print(f"bench_diff selftest: perturbed run tripped {n_fail}/3 "
+              f"metrics:", file=sys.stderr)
+        print("\n".join(tripped), file=sys.stderr)
+        return 1
+    print("bench_diff selftest: OK (identical passes, perturbed trips "
+          "all 3 headline metrics)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(
+        description="Benchmark regression gate over BENCH_throughput.json")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=repo / "BENCH_throughput.json",
+                        help="committed baseline (default: repo root)")
+    parser.add_argument("--fresh", type=pathlib.Path, default=None,
+                        help="freshly measured BENCH_throughput.json; "
+                             "when absent or missing, exit 77 (skip)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional regression per headline "
+                             "metric (default: 0.25)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="verify the tripwire trips on a perturbed "
+                             "copy of the baseline, then exit")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_diff: cannot read baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    if args.selftest:
+        return selftest(baseline, args.max_regression)
+
+    if args.fresh is None or not args.fresh.is_file():
+        print("bench_diff: no fresh measurement (pass --fresh after "
+              "running perf_microbench); skipping", file=sys.stderr)
+        return SKIP_EXIT
+    try:
+        fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_diff: cannot read fresh {args.fresh}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        lines = compare(baseline, fresh, args.max_regression)
+    except KeyError as exc:
+        print(f"bench_diff: missing headline metric {exc}",
+              file=sys.stderr)
+        return 1
+    print("\n".join(lines))
+    return 1 if any(line.startswith("FAIL") for line in lines) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
