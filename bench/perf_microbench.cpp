@@ -482,6 +482,21 @@ void emit_throughput_json() {
         measure_source(factory.id, *scalar, *batched, nbits, repeats));
   }
 
+  // Warn-level assertion: the batched wrapper must never be slower than the
+  // scalar path (budget 1% for timer noise). A warning here means per-call
+  // setup has crept back into a word loop somewhere; it does not fail the
+  // run because microbenchmark noise on shared runners would flake.
+  for (const ThroughputRow& r : rows) {
+    const double speedup = r.scalar_ns_per_bit / r.batched_ns_per_bit;
+    if (speedup < 0.99) {
+      std::fprintf(stderr,
+                   "perf_microbench: WARNING: source '%s' batched_speedup "
+                   "%.2f < 0.99 (scalar %.1f ns/bit, batched %.1f ns/bit)\n",
+                   r.id.c_str(), speedup, r.scalar_ns_per_bit,
+                   r.batched_ns_per_bit);
+    }
+  }
+
   // Service-layer draw throughput at increasing producer counts.
   const std::size_t pool_bits =
       common::env_size("TRNG_BENCH_POOL_BITS", 65536);

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -99,6 +100,14 @@ class Xoshiro256StarStar {
     has_cached_gaussian_ = true;
     return u * factor;
   }
+
+  /// Block form of next_gaussian(): fills out[0..n) with standard normal
+  /// deviates, consuming the uniform stream in exactly the same order as n
+  /// successive next_gaussian() calls — same values, same final generator
+  /// state (including the one-value polar cache). This is the draw-order
+  /// contract that lets batch kernels pre-draw whole jitter blocks and stay
+  /// bit-identical to their scalar reference paths.
+  void fill_gaussian(double* out, std::size_t n);
 
   /// Jump function: advances the stream by 2^128 steps. Calling jump() k
   /// times on copies yields k non-overlapping parallel substreams.

@@ -1,5 +1,6 @@
 #include "core/baselines/str_trng.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -21,19 +22,54 @@ SelfTimedRingTrng::SelfTimedRingTrng(Params params, std::uint64_t seed)
   // The ring period is incommensurate with the sample clock; the residual
   // phase advance per sample sweeps the bins deterministically.
   drift_ps_ = std::fmod(sample_period_ps, params_.ring_period_ps);
-}
-
-Picoseconds SelfTimedRingTrng::phase_resolution_ps() const {
-  return params_.ring_period_ps / static_cast<double>(params_.stages);
+  resolution_ps_ = params_.ring_period_ps / static_cast<double>(params_.stages);
 }
 
 bool SelfTimedRingTrng::next_bit() {
   phase_ps_ += drift_ps_ + sigma_per_sample_ * rng_.next_gaussian();
   phase_ps_ = std::fmod(phase_ps_, params_.ring_period_ps);
   if (phase_ps_ < 0.0) phase_ps_ += params_.ring_period_ps;
-  const double delta = phase_resolution_ps();
-  const auto bin = static_cast<long long>(std::floor(phase_ps_ / delta));
+  const auto bin =
+      static_cast<long long>(std::floor(phase_ps_ / resolution_ps_));
   return (bin % 2) != 0;
+}
+
+void SelfTimedRingTrng::generate_into(std::uint64_t* words,
+                                      common::Bits nbits) {
+  // Per-call setup hoisted once; the walk state and RNG run on locals and
+  // are written back after the loop. The update is the scalar next_bit()
+  // body on pre-drawn Gaussian blocks — same draws, same arithmetic.
+  const std::size_t n = nbits.count();
+  const double period = params_.ring_period_ps;
+  const double drift = drift_ps_;
+  const double sigma = sigma_per_sample_;
+  const double delta = resolution_ps_;
+  double phase = phase_ps_;
+  common::Xoshiro256StarStar rng = rng_;
+  double gauss[256];
+  std::uint64_t word = 0;
+  for (std::size_t done = 0; done < n;) {
+    const std::size_t chunk = std::min<std::size_t>(n - done, 256);
+    rng.fill_gaussian(gauss, chunk);
+    for (std::size_t c = 0; c < chunk; ++c) {
+      phase += drift + sigma * gauss[c];
+      phase = std::fmod(phase, period);
+      if (phase < 0.0) phase += period;
+      const auto bin = static_cast<long long>(std::floor(phase / delta));
+      const std::size_t i = done + c;
+      word |= static_cast<std::uint64_t>((bin % 2) != 0) << (i & 63);
+      if ((i & 63) == 63) {
+        words[i >> 6] = word;
+        word = 0;
+      }
+    }
+    done += chunk;
+  }
+  if (common::bit_offset(nbits) != 0) {
+    words[common::word_index(nbits).count()] = word;
+  }
+  phase_ps_ = phase;
+  rng_ = rng;
 }
 
 BaselineInfo SelfTimedRingTrng::info() const {

@@ -49,10 +49,17 @@ class SelfTimedRingTrng : public BaselineTrng {
       : SelfTimedRingTrng(Params{}, seed) {}
 
   bool next_bit() override;
+
+  /// Batched path: block Gaussian fills feed the same phase-walk update as
+  /// next_bit() with the per-call setup (bin width, period, RNG state)
+  /// hoisted out of the bit loop. Bit-identical to the scalar path.
+  void generate_into(std::uint64_t* words, common::Bits nbits) override;
+
   BaselineInfo info() const override;
 
-  /// Phase-bin width Delta = T / L in ps.
-  Picoseconds phase_resolution_ps() const;
+  /// Phase-bin width Delta = T / L in ps (fixed per design; hoisted to a
+  /// member at construction so the sampling loops do not re-divide).
+  Picoseconds phase_resolution_ps() const { return resolution_ps_; }
 
  private:
   Params params_;
@@ -60,6 +67,7 @@ class SelfTimedRingTrng : public BaselineTrng {
   double phase_ps_ = 0.0;      ///< sampled phase offset within the period
   double drift_ps_ = 0.0;      ///< deterministic incommensurate drift/sample
   double sigma_per_sample_ = 0.0;
+  double resolution_ps_ = 0.0; ///< Delta = T / L
 };
 
 }  // namespace trng::core::baselines

@@ -15,6 +15,7 @@ SunarSchellekensTrng::SunarSchellekensTrng(Params params, std::uint64_t seed)
   sample_period_ps_ = 1.0e12 / params_.sample_rate_hz;
   phase_.resize(static_cast<std::size_t>(params_.rings));
   half_period_.resize(static_cast<std::size_t>(params_.rings));
+  sig_step_.resize(static_cast<std::size_t>(params_.rings));
   for (int i = 0; i < params_.rings; ++i) {
     // Process variation de-tunes the rings a few percent; identical rings
     // would phase-lock in the XOR and kill the design, so the spread is
@@ -24,6 +25,14 @@ SunarSchellekensTrng::SunarSchellekensTrng(Params params, std::uint64_t seed)
         static_cast<double>(params_.stages_per_ring) * params_.d0_ps *
         std::max(spread, 0.5);
     phase_[static_cast<std::size_t>(i)] = rng_.next_double() * 2.0;
+    // Traversals per sample period; the accumulated-jitter scale (Eq. 1 per
+    // ring: variance grows with the number of traversals) is fixed per
+    // ring, so fold sigma * sqrt(traversals) once here.
+    const double traversals =
+        sample_period_ps_ / (half_period_[static_cast<std::size_t>(i)] /
+                             static_cast<double>(params_.stages_per_ring));
+    sig_step_[static_cast<std::size_t>(i)] =
+        params_.sigma_ps * std::sqrt(traversals);
   }
 }
 
@@ -31,13 +40,8 @@ bool SunarSchellekensTrng::next_raw_sample() {
   bool acc = false;
   for (std::size_t i = 0; i < phase_.size(); ++i) {
     // Advance the ring by one sample period: the phase (in half-periods)
-    // grows by dt/half_period plus accumulated white jitter (Eq. 1 per
-    // ring: variance grows with the number of traversals).
-    const double traversals =
-        sample_period_ps_ / (half_period_[i] /
-                             static_cast<double>(params_.stages_per_ring));
-    const double jitter_ps =
-        params_.sigma_ps * std::sqrt(traversals) * rng_.next_gaussian();
+    // grows by dt/half_period plus accumulated white jitter.
+    const double jitter_ps = sig_step_[i] * rng_.next_gaussian();
     phase_[i] += (sample_period_ps_ + jitter_ps) / half_period_[i];
     // Square wave: value = parity of completed half-periods.
     const auto halves = static_cast<long long>(std::floor(phase_[i]));
@@ -59,6 +63,58 @@ bool SunarSchellekensTrng::next_bit() {
   }
   out_pos_ = 0;
   return out_buffer_[out_pos_++];
+}
+
+void SunarSchellekensTrng::refill_out_buffer_batched() {
+  out_buffer_.assign(params_.code_out, false);
+  const unsigned group = params_.code_in / params_.code_out;
+  const std::size_t rings = phase_.size();
+  gauss_scratch_.resize(rings);
+  // Hoisted SoA lane state: one contiguous pass per sample over all rings.
+  double* phase = phase_.data();
+  const double* half = half_period_.data();
+  const double* sig = sig_step_.data();
+  double* gs = gauss_scratch_.data();
+  const double period = sample_period_ps_;
+  for (unsigned o = 0; o < params_.code_out; ++o) {
+    unsigned parity = 0;
+    for (unsigned g = 0; g < group; ++g) {
+      // One block draw per sample: ring i consumes value i, the order the
+      // scalar loop draws in.
+      rng_.fill_gaussian(gs, rings);
+      unsigned acc = 0;
+      for (std::size_t i = 0; i < rings; ++i) {
+        const double jitter_ps = sig[i] * gs[i];
+        phase[i] += (period + jitter_ps) / half[i];
+        const auto halves = static_cast<long long>(std::floor(phase[i]));
+        acc ^= static_cast<unsigned>((halves % 2) != 0);
+      }
+      parity ^= acc;
+    }
+    out_buffer_[o] = parity != 0;
+  }
+  out_pos_ = 0;
+}
+
+void SunarSchellekensTrng::generate_into(std::uint64_t* words,
+                                         common::Bits nbits) {
+  // Same stream as nbits next_bit() calls: drain the pending resilient-
+  // function buffer first, then refill through the batched lane kernel.
+  // Word packing mirrors BaselineTrng::generate_into (register-accumulated,
+  // tail bits zero).
+  const std::size_t n = nbits.count();
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out_pos_ == out_buffer_.size()) refill_out_buffer_batched();
+    word |= static_cast<std::uint64_t>(out_buffer_[out_pos_++]) << (i & 63);
+    if ((i & 63) == 63) {
+      words[i >> 6] = word;
+      word = 0;
+    }
+  }
+  if (common::bit_offset(nbits) != 0) {
+    words[common::word_index(nbits).count()] = word;
+  }
 }
 
 BaselineInfo SunarSchellekensTrng::info() const {

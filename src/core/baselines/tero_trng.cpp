@@ -1,5 +1,6 @@
 #include "core/baselines/tero_trng.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -11,16 +12,50 @@ TeroTrng::TeroTrng(Params params, std::uint64_t seed)
       !(params_.trigger_rate_hz > 0.0)) {
     throw std::invalid_argument("TeroTrng: invalid parameters");
   }
+  // Fixed per design; hoisted so the per-trigger paths do not re-log.
+  log_mean_ = std::log(params_.mean_count);
 }
 
 bool TeroTrng::next_bit() {
   // Multiplicative decay of the TERO asymmetry => lognormal count.
-  const double log_mean = std::log(params_.mean_count);
   const double count =
-      std::exp(log_mean + params_.rel_sigma * rng_.next_gaussian());
+      std::exp(log_mean_ + params_.rel_sigma * rng_.next_gaussian());
   last_count_ = static_cast<long long>(std::llround(count));
   if (last_count_ < 1) last_count_ = 1;
   return (last_count_ % 2) != 0;
+}
+
+void TeroTrng::generate_into(std::uint64_t* words, common::Bits nbits) {
+  // The scalar trigger model on pre-drawn Gaussian blocks; RNG and the
+  // running count live in locals and are written back after the loop.
+  const std::size_t n = nbits.count();
+  const double log_mean = log_mean_;
+  const double rel_sigma = params_.rel_sigma;
+  common::Xoshiro256StarStar rng = rng_;
+  long long last = last_count_;
+  double gauss[256];
+  std::uint64_t word = 0;
+  for (std::size_t done = 0; done < n;) {
+    const std::size_t chunk = std::min<std::size_t>(n - done, 256);
+    rng.fill_gaussian(gauss, chunk);
+    for (std::size_t c = 0; c < chunk; ++c) {
+      const double count = std::exp(log_mean + rel_sigma * gauss[c]);
+      last = static_cast<long long>(std::llround(count));
+      if (last < 1) last = 1;
+      const std::size_t i = done + c;
+      word |= static_cast<std::uint64_t>((last % 2) != 0) << (i & 63);
+      if ((i & 63) == 63) {
+        words[i >> 6] = word;
+        word = 0;
+      }
+    }
+    done += chunk;
+  }
+  if (common::bit_offset(nbits) != 0) {
+    words[common::word_index(nbits).count()] = word;
+  }
+  rng_ = rng;
+  last_count_ = last;
 }
 
 BaselineInfo TeroTrng::info() const {

@@ -37,6 +37,12 @@ class TeroTrng : public BaselineTrng {
   explicit TeroTrng(std::uint64_t seed) : TeroTrng(Params{}, seed) {}
 
   bool next_bit() override;
+
+  /// Batched path: the scalar count model on pre-drawn Gaussian blocks,
+  /// with log(mean_count) and the RNG state hoisted out of the bit loop.
+  /// Bit-identical to next_bit() (including last_count()).
+  void generate_into(std::uint64_t* words, common::Bits nbits) override;
+
   BaselineInfo info() const override;
 
   /// The raw oscillation count of the most recent trigger (diagnostics).
@@ -45,6 +51,7 @@ class TeroTrng : public BaselineTrng {
  private:
   Params params_;
   common::Xoshiro256StarStar rng_;
+  double log_mean_ = 0.0;  ///< log(mean_count), fixed per design
   long long last_count_ = 0;
 };
 

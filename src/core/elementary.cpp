@@ -71,24 +71,32 @@ void ElementaryTrng::generate_into(std::uint64_t* words, common::Bits nbits) {
     }
     return;
   }
-  // Analytic kernel, word-packed. sigma_acc and t_acc are pure functions
-  // of the construction parameters, and the RNG runs on a local copy
-  // written back after the loop, so hoisting changes no draw — the packed
-  // bits equal nbits next_bit() calls exactly.
+  // Analytic kernel, word-packed, on pre-drawn Gaussian blocks. sigma_acc
+  // and t_acc are pure functions of the construction parameters, the RNG
+  // runs on a local copy written back after the loop, and fill_gaussian
+  // consumes the stream in scalar order, so hoisting and blocking change
+  // no draw — the packed bits equal nbits next_bit() calls exactly.
   const Picoseconds sigma_acc = accumulated_sigma_ps();
   const Picoseconds t_acc = accumulation_time_ps();
   const Picoseconds d0 = d0_;
   common::Xoshiro256StarStar rng = rng_;
-  for (std::size_t i = 0; i < n; ++i) {
-    const Picoseconds jitter = sigma_acc * rng.next_gaussian();
-    const double phase = (t_acc - jitter) / d0;
-    const auto toggles =
-        static_cast<long long>(std::floor(std::max(phase, 0.0)));
-    word |= static_cast<std::uint64_t>((toggles & 1) == 0) << (i & 63);
-    if ((i & 63) == 63) {
-      words[i >> 6] = word;
-      word = 0;
+  double gauss[256];
+  for (std::size_t done = 0; done < n;) {
+    const std::size_t chunk = std::min<std::size_t>(n - done, 256);
+    rng.fill_gaussian(gauss, chunk);
+    for (std::size_t c = 0; c < chunk; ++c) {
+      const Picoseconds jitter = sigma_acc * gauss[c];
+      const double phase = (t_acc - jitter) / d0;
+      const auto toggles =
+          static_cast<long long>(std::floor(std::max(phase, 0.0)));
+      const std::size_t i = done + c;
+      word |= static_cast<std::uint64_t>((toggles & 1) == 0) << (i & 63);
+      if ((i & 63) == 63) {
+        words[i >> 6] = word;
+        word = 0;
+      }
     }
+    done += chunk;
   }
   if (common::bit_offset(nbits) != 0) {
     words[common::word_index(nbits).count()] = word;

@@ -64,6 +64,12 @@ void XorCompressedSource::generate_into(std::uint64_t* words,
   }
 }
 
+bool XorCompressedSource::next_bit() {
+  bool acc = false;
+  for (unsigned j = 0; j < np_; ++j) acc = acc != source_->next_bit();
+  return acc;
+}
+
 SourceInfo XorCompressedSource::info() const {
   SourceInfo si = source_->info();
   si.name += " + XOR np=" + std::to_string(np_);

@@ -52,6 +52,16 @@ class XorCompressedSource : public BitSource {
 
   void generate_into(std::uint64_t* words, common::Bits nbits) override;
 
+  /// Scalar reference path: folds np scalar next_bit() pulls from the inner
+  /// source. Without this override the BitSource default would route one-
+  /// bit requests through the inner generate_into — i.e. the batched
+  /// pipeline — so "scalar" consumers of a wrapped source would never
+  /// exercise the inner source's bit-at-a-time reference implementation.
+  /// Emits the same stream as generate_into (each output bit XORs the same
+  /// np consecutive raw bits, and scalar ≡ batched holds for the inner
+  /// source).
+  bool next_bit() override;
+
   /// Inner source's info with the name suffixed " + XOR np=<np>" and the
   /// throughput divided by np (the rate-for-entropy trade of Eq. 7).
   SourceInfo info() const override;

@@ -81,13 +81,13 @@ void TappedDelayLineSim::capture_into(const RingOscillator& source, int stage,
   const int m = taps();
   const Picoseconds half_aperture = ff_spec_.aperture_ps / 2.0;
 
-  // Flatten this stage's toggle history once: the per-tap scan below then
-  // walks contiguous memory instead of binary-searching the segmented
-  // deque three times per flip-flop (value_at + edges_in) and allocating a
-  // fresh edge vector per tap like the scalar path does. The +/-infinity
-  // sentinels absorb the hi == 0 / hi == n boundary checks: the walk and
-  // the aperture-window compares below never read past a sentinel, and a
-  // sentinel can never satisfy an in-window predicate.
+  // Copy this stage's (already contiguous) toggle history between two
+  // sentinels: the per-tap scan below then walks one flat array instead of
+  // binary-searching three times per flip-flop (value_at + edges_in) and
+  // allocating a fresh edge vector per tap like the scalar path does. The
+  // +/-infinity sentinels absorb the hi == 0 / hi == n boundary checks:
+  // the walk and the aperture-window compares below never read past a
+  // sentinel, and a sentinel can never satisfy an in-window predicate.
   const auto& hist = source.toggle_history(stage);
   scratch_toggles_.clear();
   scratch_toggles_.reserve(hist.size() + 2);

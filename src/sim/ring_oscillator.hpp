@@ -15,10 +15,12 @@
 //
 // The simulator keeps a bounded history of recent toggle times per stage so
 // the TDC can reconstruct the waveform a delay-line-depth into the past.
+// Per-stage state is struct-of-arrays: contiguous vectors of toggle times,
+// one per stage, plus flat value/delay arrays — the layout the batched
+// advance kernel streams through.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <stdexcept>
 #include <vector>
 
@@ -27,6 +29,21 @@
 #include "sim/noise.hpp"
 
 namespace trng::sim {
+
+/// Which advance_to kernel to run. Both kernels execute the identical
+/// per-transition arithmetic on the identical Gaussian draw sequence
+/// (fill_gaussian's draw-order contract), so they produce bit-identical
+/// trajectories and may be interleaved freely on one oscillator:
+///   * kReference — the original one-transition-at-a-time loop, drawing
+///     each Gaussian on demand (the pinned scalar reference
+///     implementation);
+///   * kBatched   — the performance kernel: pre-draws whole blocks of
+///     (flicker, white) jitter pairs with fill_gaussian and advances many
+///     periods per refill when that is the faster strategy for the
+///     configuration, and falls back to the on-demand loop when it is not
+///     (see the dispatch comment in advance_to) — the choice is invisible
+///     in the trajectory.
+enum class AdvanceKernel { kReference, kBatched };
 
 class RingOscillator {
  public:
@@ -48,8 +65,9 @@ class RingOscillator {
   /// state persists across restarts (it is a property of the silicon).
   void reset(Picoseconds t0);
 
-  /// Simulates all transitions with arrival time <= t.
-  void advance_to(Picoseconds t);
+  /// Simulates all transitions with arrival time <= t. The kernel choice
+  /// affects speed only: trajectories are bit-identical (see AdvanceKernel).
+  void advance_to(Picoseconds t, AdvanceKernel kernel = AdvanceKernel::kBatched);
 
   /// Output value of `stage` at time `t`. Requires advance_to(>= t) first
   /// and t within the retained history window; throws std::logic_error
@@ -62,11 +80,12 @@ class RingOscillator {
   std::vector<Picoseconds> edges_in(int stage, Picoseconds t0,
                                     Picoseconds t1) const;
 
-  /// Direct read access to `stage`'s retained toggle times (ascending).
-  /// Batched TDC captures flatten this once instead of binary-searching
-  /// per flip-flop through value_at/edges_in. Inline (with the bounds
-  /// check compiled into the caller): queried once per TDC line capture.
-  const std::deque<Picoseconds>& toggle_history(int stage) const {
+  /// Direct read access to `stage`'s retained toggle times (ascending,
+  /// contiguous). Batched TDC captures flatten this once instead of
+  /// binary-searching per flip-flop through value_at/edges_in. Inline (with
+  /// the bounds check compiled into the caller): queried once per TDC line
+  /// capture.
+  const std::vector<Picoseconds>& toggle_history(int stage) const {
     if (stage < 0 || stage >= stages()) {
       throw std::out_of_range("RingOscillator::toggle_history: bad stage");
     }
@@ -90,6 +109,14 @@ class RingOscillator {
 
  private:
   void prune_history();
+  /// Next Gaussian in stream order: pre-drawn block values first, then the
+  /// generator. Every Gaussian consumer inside the oscillator goes through
+  /// this (or through the kernels' hoisted equivalent), which is what makes
+  /// kernel interleaving bit-transparent.
+  double take_gaussian();
+  /// Compacts unconsumed pre-drawn values to the front of gauss_buf_ and
+  /// tops the buffer up to `want` values with fill_gaussian.
+  void ensure_gaussians(std::size_t want);
 
   std::vector<Picoseconds> stage_delays_;
   Picoseconds white_sigma_;
@@ -101,8 +128,10 @@ class RingOscillator {
   common::Xoshiro256StarStar rng_;
   Picoseconds history_window_;
 
-  // Dynamic state.
-  std::vector<std::deque<Picoseconds>> toggles_;  // per-stage toggle times
+  // Dynamic state (struct-of-arrays: one contiguous ascending time array
+  // per stage; vectors retain capacity across reset(), so restart-mode
+  // operation performs no steady-state allocation).
+  std::vector<std::vector<Picoseconds>> toggles_;  // per-stage toggle times
   // Current output values; byte-backed (not vector<bool>) so the
   // per-transition flip is a plain load/xor/store.
   std::vector<unsigned char> value_;
@@ -112,6 +141,15 @@ class RingOscillator {
   Picoseconds now_ = 0.0;
   double flicker_state_ = 0.0;
   std::uint64_t transitions_ = 0;
+  // Pre-drawn Gaussian block (stream-order FIFO): values
+  // [gauss_pos_, gauss_len_) are drawn-but-unconsumed and MUST be consumed
+  // before rng_ is touched again, by whichever kernel (or reset()) runs
+  // next. The vector is grow-only storage — gauss_len_, not size(), bounds
+  // the valid values — so steady-state refills never resize (a resize
+  // would zero-fill the block just before fill_gaussian overwrites it).
+  std::vector<double> gauss_buf_;
+  std::size_t gauss_pos_ = 0;
+  std::size_t gauss_len_ = 0;
 };
 
 }  // namespace trng::sim

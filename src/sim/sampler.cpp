@@ -56,8 +56,10 @@ CaptureResult SampleController::next_capture(Cycles accumulation_cycles) {
   const Picoseconds t_sample = schedule_.begin_conversion(accumulation_cycles);
 
   // Simulate past the sample instant far enough to cover the largest
-  // positive clock skew plus the metastability aperture.
-  oscillator_.advance_to(t_sample + 500.0);
+  // positive clock skew plus the metastability aperture. The scalar capture
+  // path runs the reference advance kernel; trajectories are bit-identical
+  // to the batched kernel next_capture_into uses.
+  oscillator_.advance_to(t_sample + 500.0, AdvanceKernel::kReference);
 
   CaptureResult result;
   result.sample_time_ps = t_sample;
@@ -80,7 +82,9 @@ void SampleController::next_capture_into(Cycles accumulation_cycles,
     started_ = true;
   }
   const Picoseconds t_sample = schedule_.begin_conversion(accumulation_cycles);
-  oscillator_.advance_to(t_sample + 500.0);
+  // Whole-block sim advance: the batched SoA kernel pre-draws the jitter
+  // pairs for the full accumulation interval in one fill_gaussian block.
+  oscillator_.advance_to(t_sample + 500.0, AdvanceKernel::kBatched);
 
   const int taps = lines_.empty() ? 0 : lines_.front().taps();
   const int wpl = (taps + 63) / 64;

@@ -308,20 +308,44 @@ TestResult random_excursions_variant_test(const common::BitStream& bits) {
   return detail::excursions_variant_from_counts(cycles, total_visits);
 }
 
+int gf2_rank_rowechelon(const std::uint64_t* rows, int nrows) {
+  // Pivot rows indexed by leading (highest set) bit position. Inserting a
+  // row costs one XOR per already-found pivot above its leading bit —
+  // against the reference kernel's per-column pivot search plus full-matrix
+  // sweep, this touches each row only until it dies or lands. The echelon
+  // basis spans the same row space, so the rank (all the chi-square math
+  // consumes) is identical to stat::gf2_rank's.
+  std::uint64_t pivot[64] = {};
+  int rank = 0;
+  for (int r = 0; r < nrows; ++r) {
+    std::uint64_t row = rows[r];
+    while (row != 0) {
+      const int lead = 63 - std::countl_zero(row);
+      if (pivot[lead] == 0) {
+        pivot[lead] = row;
+        ++rank;
+        break;
+      }
+      row ^= pivot[lead];
+    }
+  }
+  return rank;
+}
+
 TestResult rank_test(const common::BitStream& bits) {
   if (auto gated = detail::gate_rank(bits.size())) return *gated;
   constexpr std::size_t kM = 32;
   constexpr std::size_t kBitsPerMatrix = kM * kM;
   const std::size_t big_n = bits.size() / kBitsPerMatrix;
   std::size_t f_full = 0, f_minus1 = 0;
-  std::vector<std::uint64_t> rows(kM);
+  std::uint64_t rows[kM];
   for (std::size_t m = 0; m < big_n; ++m) {
     for (std::size_t i = 0; i < kM; ++i) {
       // The scalar kernel builds row |= 1 << j from bits[... + j]: exactly
       // the LSB-first 32-bit window at the row's offset.
       rows[i] = bits.word_at(m * kBitsPerMatrix + i * kM) & 0xFFFFFFFFULL;
     }
-    const int rank = gf2_rank(rows, static_cast<int>(kM));
+    const int rank = gf2_rank_rowechelon(rows, static_cast<int>(kM));
     if (rank == static_cast<int>(kM)) {
       ++f_full;
     } else if (rank == static_cast<int>(kM) - 1) {

@@ -59,4 +59,12 @@ TestResult random_excursions_variant_test(const common::BitStream& bits);
 std::size_t berlekamp_massey_words(const common::BitStream& bits,
                                    std::size_t begin, std::size_t len);
 
+/// Bitsliced GF(2) rank of `nrows` packed matrix rows (row r's column j at
+/// rows[r] bit j, as the rank test packs them): pivot-insertion row echelon
+/// — each row is reduced against the pivots found so far, one whole-row XOR
+/// per leading bit, with no column-major search loops. Returns the same
+/// rank as stat::gf2_rank on the same rows (helper, exposed for the
+/// equivalence suite).
+int gf2_rank_rowechelon(const std::uint64_t* rows, int nrows);
+
 }  // namespace trng::stat::wordpar

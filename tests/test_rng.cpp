@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
 #include <set>
+#include <vector>
 
 #include "common/rng.hpp"
 
@@ -106,6 +108,81 @@ TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
   static_assert(std::uniform_random_bit_generator<Xoshiro256StarStar>);
   EXPECT_EQ(Xoshiro256StarStar::min(), 0u);
   EXPECT_EQ(Xoshiro256StarStar::max(), ~0ULL);
+}
+
+// fill_gaussian's contract: fill_gaussian(out, n) produces exactly the
+// values of n successive next_gaussian() calls AND leaves the generator
+// in the identical state (including the one-value polar cache). Every
+// batched kernel in src/sim and src/core leans on this, so it is pinned
+// with EXPECT_EQ on the doubles — bit identity, not closeness.
+
+/// n consecutive scalar draws from a copy, for comparison.
+std::vector<double> scalar_draws(Xoshiro256StarStar rng, std::size_t n) {
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.next_gaussian();
+  return out;
+}
+
+class FillGaussian : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FillGaussian, MatchesScalarSequenceExactly) {
+  const std::size_t n = GetParam();
+  Xoshiro256StarStar batched(99);
+  const auto expected = scalar_draws(batched, n + 3);
+  std::vector<double> got(n);
+  batched.fill_gaussian(got.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "i = " << i << ", n = " << n;
+  }
+  // End state identical: the next scalar draws continue the same stream
+  // (covers the cached-vs-uncached half-pair distinction).
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(batched.next_gaussian(), expected[n + i]) << "tail " << i;
+  }
+}
+
+// Odd and even n exercise both end states (odd leaves a value cached,
+// even may not), 0/1 the degenerate edges, 256/257 a typical block size
+// and its straddle.
+INSTANTIATE_TEST_SUITE_P(Sizes, FillGaussian,
+                         ::testing::Values(0, 1, 2, 3, 7, 8, 64, 255, 256,
+                                           257));
+
+TEST(Xoshiro, FillGaussianDrainsExistingCache) {
+  // A scalar draw first, so the polar cache holds a value when the block
+  // fill starts; the fill must emit that cached value as element 0.
+  Xoshiro256StarStar batched(1234);
+  (void)batched.next_gaussian();
+  const auto expected = scalar_draws(batched, 12);
+  double got[11];
+  batched.fill_gaussian(got, 11);
+  for (std::size_t i = 0; i < 11; ++i) EXPECT_EQ(got[i], expected[i]);
+  EXPECT_EQ(batched.next_gaussian(), expected[11]);
+}
+
+TEST(Xoshiro, FillGaussianAfterJumpMatchesScalar) {
+  Xoshiro256StarStar batched(42);
+  (void)batched.next_gaussian();  // populate the cache...
+  batched.jump();                 // ...then jump; cache survives the jump
+  Xoshiro256StarStar scalar = batched;
+  const auto expected = scalar_draws(scalar, 33);
+  double got[33];
+  batched.fill_gaussian(got, 33);
+  for (std::size_t i = 0; i < 33; ++i) EXPECT_EQ(got[i], expected[i]);
+}
+
+TEST(Xoshiro, FillGaussianChunkedEqualsOneShot) {
+  // Splitting one logical block across several calls (as ensure_gaussians
+  // refills do) must concatenate to the same stream.
+  Xoshiro256StarStar whole(7), pieces(7);
+  double a[100];
+  whole.fill_gaussian(a, 100);
+  double b[100];
+  pieces.fill_gaussian(b, 37);
+  pieces.fill_gaussian(b + 37, 1);
+  pieces.fill_gaussian(b + 38, 62);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(a[i], b[i]);
+  EXPECT_EQ(whole.next(), pieces.next());
 }
 
 }  // namespace

@@ -10,6 +10,7 @@ back to walking src/.
     python3 tools/analyzer/analyze.py --root .            # lite frontend
     python3 tools/analyzer/analyze.py -p build --json     # machine output
     python3 tools/analyzer/analyze.py --frontend clang    # require AST
+    python3 tools/analyzer/analyze.py --only src/sim      # scoped sweep
 
 Frontends: `auto` (default) uses libclang per TU when the bindings are
 importable and falls back to the lite tokenizer otherwise — per file, so
@@ -69,17 +70,36 @@ def load_compile_commands(
 
 
 def collect_files(root: pathlib.Path,
-                  compdb: dict[pathlib.Path, list[str]]) -> list[pathlib.Path]:
+                  compdb: dict[pathlib.Path, list[str]],
+                  only: list[str] | None = None) -> list[pathlib.Path]:
     """All analyzable sources under <root>/src. The compdb contributes
     flags, not the file list: headers never appear in it, and the rules
-    must see headers (guard scopes and unit contracts live there)."""
+    must see headers (guard scopes and unit contracts live there).
+
+    `only` restricts the *reported* set, not the parsed set — callers
+    filter after parsing so cross-TU context (annotations in headers
+    outside the prefix) stays complete. This helper just validates the
+    prefixes exist so a typo'd --only fails loudly instead of silently
+    analyzing nothing."""
     src = root / "src"
     if not src.is_dir():
         print(f"trng_analyzer: no src/ directory under {root}",
               file=sys.stderr)
         raise SystemExit(2)
+    for prefix in only or []:
+        if not (root / prefix).exists():
+            print(f"trng_analyzer: --only prefix '{prefix}' does not "
+                  f"exist under {root}", file=sys.stderr)
+            raise SystemExit(2)
     return sorted(p for p in src.rglob("*")
                   if p.is_file() and p.suffix in SOURCE_SUFFIXES)
+
+
+def rel_matches(rel: pathlib.PurePosixPath, only: list[str]) -> bool:
+    """True when `rel` sits under one of the --only prefixes."""
+    rel_str = rel.as_posix()
+    return any(rel_str == p or rel_str.startswith(p.rstrip("/") + "/")
+               for p in only)
 
 
 def parse_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
@@ -140,6 +160,12 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--frontend", choices=("auto", "clang", "lite"),
                         default="auto",
                         help="AST frontend selection (default: auto)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="PREFIX",
+                        help="report findings only for files under this "
+                             "repo-relative prefix (repeatable, e.g. "
+                             "--only src/sim); every TU is still parsed "
+                             "so cross-TU annotations keep working")
     parser.add_argument("--json", action="store_true",
                         help="emit findings as a JSON array on stdout "
                              "(suppressed findings included, flagged)")
@@ -163,20 +189,24 @@ def main(argv: list[str]) -> int:
 
     root = args.root.resolve()
     compdb = load_compile_commands((args.compdb or root).resolve())
-    files = collect_files(root, compdb)
+    files = collect_files(root, compdb, args.only)
 
     # Pass 1: parse every TU. Annotations (locking contracts, atomic
     # roles) live in headers but govern accesses in other TUs, so the
-    # cross-TU context must exist before any rule runs.
+    # cross-TU context must exist before any rule runs — even under
+    # --only, which filters reporting, not parsing.
     tus: list[facts.TUFacts] = []
     for path in files:
         rel = pathlib.PurePosixPath(path.relative_to(root).as_posix())
         tus.append(parse_file(path, rel, args.frontend, compdb))
     repo = rules.build_repo_context(tus)
 
-    # Pass 2: rules per TU against the shared context.
+    # Pass 2: rules per TU against the shared context, reported only
+    # for TUs inside the --only scope (all of them by default).
+    scoped = [tu for tu in tus
+              if args.only is None or rel_matches(tu.rel, args.only)]
     findings: list[rules.Finding] = []
-    for tu in tus:
+    for tu in scoped:
         raw_lines = tu.path.read_text(
             encoding="utf-8", errors="replace").splitlines()
         findings.extend(rules.check_tu(tu, raw_lines, repo))
@@ -188,7 +218,7 @@ def main(argv: list[str]) -> int:
         for f in unsuppressed:
             print(f.render(root))
     if not args.quiet:
-        print_summary(findings, len(files))
+        print_summary(findings, len(scoped))
     return 1 if unsuppressed else 0
 
 

@@ -3,10 +3,11 @@
 
 Compares a freshly measured BENCH_throughput.json against the committed
 baseline and fails when a headline metric regresses by more than the
-allowed fraction (default 25%). The headline metrics are the three
+allowed fraction (default 25%). The headline metrics are the four
 numbers the ROADMAP perf items are tracked by:
 
   - carry-chain-raw batched ns/bit      (lower is better)
+  - carry-k4 batched ns/bit             (lower is better)
   - whole-battery word-parallel ns/bit  (lower is better)
   - pool_draw paced speedup at the largest producer count
                                         (higher is better)
@@ -49,12 +50,12 @@ def headline_metrics(doc: dict) -> dict[str, tuple[float, str]]:
     out: dict[str, tuple[float, str]] = {}
 
     sources = doc.get("sources", [])
-    carry = next((s for s in sources if s.get("id") == "carry-chain-raw"),
-                 None)
-    if carry is None or "batched_ns_per_bit" not in carry:
-        raise KeyError("sources[id=carry-chain-raw].batched_ns_per_bit")
-    out["carry-chain-raw batched ns/bit"] = (
-        float(carry["batched_ns_per_bit"]), "lower")
+    for source_id in ("carry-chain-raw", "carry-k4"):
+        row = next((s for s in sources if s.get("id") == source_id), None)
+        if row is None or "batched_ns_per_bit" not in row:
+            raise KeyError(f"sources[id={source_id}].batched_ns_per_bit")
+        out[f"{source_id} batched ns/bit"] = (
+            float(row["batched_ns_per_bit"]), "lower")
 
     out["whole-battery wordpar ns/bit"] = (
         float(_get(doc, "battery.whole_battery.wordpar_ns_per_bit")),
@@ -112,9 +113,9 @@ def selftest(baseline: dict, max_regression: float) -> int:
 
     bad = copy.deepcopy(baseline)
     factor = 1.0 + 2 * max_regression
-    carry = next(s for s in bad["sources"]
-                 if s["id"] == "carry-chain-raw")
-    carry["batched_ns_per_bit"] *= factor
+    for source_id in ("carry-chain-raw", "carry-k4"):
+        row = next(s for s in bad["sources"] if s["id"] == source_id)
+        row["batched_ns_per_bit"] *= factor
     bad["battery"]["whole_battery"]["wordpar_ns_per_bit"] *= factor
     top = max(bad["pool_draw"]["paced"]["rows"],
               key=lambda r: r["producers"])
@@ -122,13 +123,13 @@ def selftest(baseline: dict, max_regression: float) -> int:
 
     tripped = compare(baseline, bad, max_regression)
     n_fail = sum(1 for line in tripped if line.startswith("FAIL"))
-    if n_fail != 3:
-        print(f"bench_diff selftest: perturbed run tripped {n_fail}/3 "
+    if n_fail != 4:
+        print(f"bench_diff selftest: perturbed run tripped {n_fail}/4 "
               f"metrics:", file=sys.stderr)
         print("\n".join(tripped), file=sys.stderr)
         return 1
     print("bench_diff selftest: OK (identical passes, perturbed trips "
-          "all 3 headline metrics)")
+          "all 4 headline metrics)")
     return 0
 
 
