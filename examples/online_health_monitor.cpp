@@ -12,12 +12,17 @@
 // Phase 3 emulates partial degradation (heavy bias) caught by the
 // adaptive-proportion test.
 //
-//   build/examples/online_health_monitor [--json]
+//   build/examples/online_health_monitor [--json] [--scrape <uds-path>]
 //
 // With --json, the prose goes to stderr and a machine-readable
 // service-metrics snapshot ("trng.service.metrics.v1", the same schema
 // entropy_serverd and the pool's Metrics::snapshot_json emit) is printed
 // to stdout, so the example can be scraped like the service daemon.
+//
+// With --scrape <uds-path>, the monitor instead connects to a running
+// entropy_serverd AF_UNIX listener, requests its metrics over the framed
+// protocol, prints the "trng.server.metrics.v1" JSON (which embeds the
+// service snapshot) to stdout and exits — a one-shot external scraper.
 //
 // TRNG_EXAMPLE_BITS scales phase 1's post-processed bit budget (default
 // 40000) so smoke tests and full runs share this binary.
@@ -25,18 +30,41 @@
 #include <cstring>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "core/bit_source.hpp"
 #include "core/health.hpp"
 #include "core/trng.hpp"
+#include "server/client.hpp"
 #include "service/metrics.hpp"
 
 int main(int argc, char** argv) {
   using namespace trng;
   bool json = false;
+  const char* scrape_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--scrape") == 0 && i + 1 < argc) {
+      scrape_path = argv[++i];
+    }
+  }
+
+  if (scrape_path != nullptr) {
+    const int fd = server::client::connect_unix(scrape_path);
+    if (fd < 0) {
+      std::fprintf(stderr, "cannot connect to %s\n", scrape_path);
+      return 1;
+    }
+    const std::string snapshot = server::client::fetch_metrics(fd);
+    ::close(fd);
+    if (snapshot.empty()) {
+      std::fprintf(stderr, "metrics request to %s failed\n", scrape_path);
+      return 1;
+    }
+    std::printf("%s\n", snapshot.c_str());
+    return 0;
   }
   // In --json mode stdout carries only the snapshot; the narration moves
   // to stderr.

@@ -1,0 +1,76 @@
+#include "server/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace trng::server::client {
+
+DrawReply draw(int fd, std::uint32_t nbytes, bool prediction_resistance,
+               std::uint16_t shard) {
+  DrawReply reply;
+  Request req;
+  req.type = MessageType::kDraw;
+  req.flags = prediction_resistance ? kFlagPredictionResistance : 0;
+  req.shard = shard;
+  req.nbytes = nbytes;
+  std::uint8_t frame[kRequestFrameBytes];
+  encode_request(req, frame);
+  if (!write_full(fd, frame, sizeof(frame))) return reply;
+
+  std::uint8_t header[kResponseHeaderBytes];
+  if (!read_full(fd, header, sizeof(header))) return reply;
+  ResponseHeader rsp;
+  if (!decode_response(header, &rsp)) return reply;
+  reply.status = rsp.status;
+  reply.shard = rsp.shard;
+  if (rsp.payload_bytes > 0) {
+    reply.bytes.resize(rsp.payload_bytes);
+    if (!read_full(fd, reply.bytes.data(), reply.bytes.size())) {
+      reply.bytes.clear();
+      return reply;
+    }
+  }
+  reply.ok = true;
+  return reply;
+}
+
+std::string fetch_metrics(int fd) {
+  Request req;
+  req.type = MessageType::kMetrics;
+  std::uint8_t frame[kRequestFrameBytes];
+  encode_request(req, frame);
+  if (!write_full(fd, frame, sizeof(frame))) return {};
+
+  std::uint8_t header[kResponseHeaderBytes];
+  if (!read_full(fd, header, sizeof(header))) return {};
+  ResponseHeader rsp;
+  if (!decode_response(header, &rsp) || rsp.status != Status::kOk) return {};
+  std::string json(rsp.payload_bytes, '\0');
+  if (rsp.payload_bytes > 0 &&
+      !read_full(fd, json.data(), json.size())) {
+    return {};
+  }
+  return json;
+}
+
+int connect_unix(const std::string& path) {
+  if (path.empty() || path.size() >= sizeof(sockaddr_un::sun_path)) {
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace trng::server::client

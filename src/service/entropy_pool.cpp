@@ -1,5 +1,6 @@
 #include "service/entropy_pool.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -140,6 +141,65 @@ common::Words EntropyPool::draw_nonblocking(std::uint64_t* words,
     metrics_.nonblocking_shortfall_words.fetch_add(
         (nwords - delivered).count(), std::memory_order_relaxed);
   }
+  return delivered;
+}
+
+common::Words EntropyPool::draw_from_shard(std::size_t shard,
+                                           std::uint64_t* words,
+                                           common::Words nwords,
+                                           std::uint64_t timeout_ns) {
+  if (shard >= rings_.size()) {
+    throw std::out_of_range("EntropyPool: shard index out of range");
+  }
+  metrics_.draws.fetch_add(1, std::memory_order_relaxed);
+  WordRing& ring = *rings_[shard];
+  ProducerCounters& counters = metrics_.producer(shard);
+  const std::uint64_t start_ns = monotonic_ns();
+  // Saturating add: a near-max timeout must not wrap into the past.
+  const std::uint64_t deadline = (timeout_ns > ~std::uint64_t{0} - start_ns)
+                                     ? ~std::uint64_t{0}
+                                     : start_ns + timeout_ns;
+  common::Words delivered{0};
+  std::uint64_t waited_ns = 0;
+  const auto pop = [&]() {
+    const common::Words got =
+        ring.pop_some(words + delivered.count(), nwords - delivered);
+    if (!got.is_zero()) {
+      delivered += got;
+      counters.words_drawn.fetch_add(got.count(), std::memory_order_relaxed);
+      counters.ring_words.store(ring.size().count(),
+                                std::memory_order_relaxed);
+    }
+    return got;
+  };
+  pop();
+  while (delivered < nwords) {
+    std::unique_lock<std::mutex> lk(data_mu_);
+    // Same drain-under-the-notify-mutex argument as draw(): a push that
+    // raced the unlocked pop above is re-checked here.
+    const common::Words got = pop();
+    if (delivered >= nwords) break;
+    if (stopped_.load(std::memory_order_acquire)) {
+      if (got.is_zero()) break;
+      continue;
+    }
+    const std::uint64_t now = monotonic_ns();
+    if (now >= deadline) break;
+    // Predicate overload (see draw() for the lost-wakeup argument),
+    // bounded by the caller's deadline so a quarantined producer's empty
+    // ring cannot block a conditioner reseed forever.
+    data_cv_.wait_for(lk, std::chrono::nanoseconds(deadline - now), [&] {
+      return stopped_.load(std::memory_order_acquire) ||
+             !ring.size().is_zero();
+    });
+    waited_ns += monotonic_ns() - now;
+  }
+  if (waited_ns > 0) {
+    metrics_.draw_wait_ns.fetch_add(waited_ns, std::memory_order_relaxed);
+  }
+  metrics_.draw_wait_us.record(waited_ns / 1000);
+  metrics_.words_drawn.fetch_add(delivered.count(),
+                                 std::memory_order_relaxed);
   return delivered;
 }
 

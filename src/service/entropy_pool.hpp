@@ -83,6 +83,17 @@ class EntropyPool {
   /// `nwords`; returns the number of words delivered.
   common::Words draw_nonblocking(std::uint64_t* words, common::Words nwords);
 
+  /// Blocking draw confined to producer `shard`'s ring: delivers up to
+  /// `nwords` words from that ring only, waiting at most `timeout_ns` for
+  /// them to arrive. Returns the number delivered — short on timeout or
+  /// once the pool is stopped and the ring drained. This is how the
+  /// server tier's per-shard DRBGs reseed: a quarantined producer starves
+  /// only its own shard's reseeds instead of the whole pool. Thread-safe.
+  /// Throws std::out_of_range on a bad shard index.
+  common::Words draw_from_shard(std::size_t shard, std::uint64_t* words,
+                                common::Words nwords,
+                                std::uint64_t timeout_ns);
+
   std::size_t producers() const { return producers_.size(); }
 
   /// Admission state of producer i (snapshot of the quarantine gauge).

@@ -1,0 +1,32 @@
+// SA005 negative fixture: a *_locked helper runs under the caller's
+// guard by contract (the suffix is the declared discipline), so its
+// accesses to guarded state carry no lexical lockset and must not be
+// flagged against the guards() annotation.
+#include <cstddef>
+#include <mutex>
+
+namespace fixture_server {
+
+class Table {
+ public:
+  void insert() {
+    std::lock_guard<std::mutex> lk(table_mu_);
+    insert_locked();
+  }
+
+  void insert_two() {
+    std::lock_guard<std::mutex> lk(table_mu_);
+    size_ += 2;
+  }
+
+ private:
+  void insert_locked() {
+    size_ += 1;  // caller holds table_mu_; exempt by the _locked contract
+  }
+
+  std::mutex table_mu_;
+  // trng-analyzer: guards(size_, table_mu_)
+  std::size_t size_ = 0;
+};
+
+}  // namespace fixture_server

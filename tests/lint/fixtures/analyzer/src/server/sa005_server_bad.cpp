@@ -1,0 +1,25 @@
+// SA005 bad fixture in the server layer: the rule's scope now covers
+// src/server/, so an inconsistent lockset on daemon state must fire
+// here exactly as it would in src/service/.
+#include <cstddef>
+#include <mutex>
+
+namespace fixture_server {
+
+class Registry {
+ public:
+  void add() {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    count_ += 1;
+  }
+
+  std::size_t count() const {
+    return count_;  // SA005: unguarded while add() holds sessions_mu_
+  }
+
+ private:
+  mutable std::mutex sessions_mu_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace fixture_server

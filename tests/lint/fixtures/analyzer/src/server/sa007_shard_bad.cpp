@@ -1,0 +1,29 @@
+// SA007 bad fixture: draw_from_shard delivers raw pool entropy into its
+// SECOND argument (the first is the shard index); the indexed taint
+// seeding must follow the buffer, and the shard index itself must stay
+// clean — logging a shard number is fine, logging the words is not.
+#include <cstdint>
+#include <cstdio>
+
+namespace fixture_server {
+
+struct Pool {
+  bool draw_from_shard(std::size_t shard, std::uint64_t* out,
+                       std::size_t nwords, std::uint64_t deadline_ns);
+};
+
+struct Seeder {
+  Pool pool_;
+
+  void reseed(std::size_t shard) {
+    std::uint64_t seed_material[8] = {};
+    pool_.draw_from_shard(shard, seed_material, 8, 0);
+    // Logging the shard index is legitimate; no finding here.
+    std::printf("reseeded shard %zu\n", shard);
+    // SA007: the drawn seed material itself leaks to stdout.
+    std::printf("seed word %llu\n",
+                static_cast<unsigned long long>(seed_material[0]));
+  }
+};
+
+}  // namespace fixture_server

@@ -1,0 +1,25 @@
+// TL009 fixture: BSD socket calls in the core layer (three findings),
+// plus lookalikes the rule must ignore — a std::bind expression and a
+// member .connect() call are not transport syscalls.
+#include <cstddef>
+#include <functional>
+
+namespace fixture {
+
+struct Peer {
+  void (*connect)(int) = nullptr;
+};
+
+int open_channel() {
+  const int fd = ::socket(2, 1, 0);
+  ::bind(fd, nullptr, 0);
+  char buf[8];
+  recv(fd, buf, sizeof buf, 0);
+  Peer p;
+  p.connect(fd);
+  auto bound = std::bind(p.connect, fd);
+  (void)bound;
+  return fd;
+}
+
+}  // namespace fixture

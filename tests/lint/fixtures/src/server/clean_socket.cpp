@@ -1,0 +1,15 @@
+// Negative fixture: the server layer owns the transport and its session
+// threads, so socket syscalls (TL009) and std::thread (TL007) are both
+// allowed here — this file must produce no findings.
+#include <thread>
+
+namespace fixture_server {
+
+void serve() {
+  int sv[2];
+  ::socketpair(1, 1, 0, sv);
+  std::thread t([&sv] { ::listen(sv[0], 4); });
+  t.join();
+}
+
+}  // namespace fixture_server

@@ -522,16 +522,52 @@ class LockScope(Rule):
 # the lock in others) is correct by design.
 _SYNC_SUFFIXES = ("mu_", "cv_", "mutex_", "cond_", "lock_")
 
+_LOCKED_FN_RE = re.compile(r"\b[A-Za-z_]\w*_locked\s*\(")
+
+
+def _locked_fn_spans(stripped: str) -> list[tuple[int, int]]:
+    """Line spans of `*_locked` function *definitions*. The suffix is the
+    repository's caller-holds-the-lock contract: the body runs under the
+    caller's guard, so its accesses carry no lexical lockset of their
+    own. Calls and declarations (no following brace) are skipped."""
+    spans = []
+    for m in _LOCKED_FN_RE.finditer(stripped):
+        i = stripped.find("(", m.start())
+        depth, j = 1, i + 1
+        while j < len(stripped) and depth:
+            if stripped[j] == "(":
+                depth += 1
+            elif stripped[j] == ")":
+                depth -= 1
+            j += 1
+        k = j
+        while k < len(stripped) and stripped[k] not in "{;":
+            k += 1
+        if k >= len(stripped) or stripped[k] == ";":
+            continue
+        depth, e = 1, k + 1
+        while e < len(stripped) and depth:
+            if stripped[e] == "{":
+                depth += 1
+            elif stripped[e] == "}":
+                depth -= 1
+            e += 1
+        spans.append((facts.line_of(stripped, k),
+                      facts.line_of(stripped, e - 1)))
+    return spans
+
 
 class LocksetConsistency(Rule):
     rule_id = "SA005"
     name = "lockset-consistency"
     doc = ("every access to a shared member field must hold a consistent "
            "guard set: all-unguarded (thread-confined) or a common mutex; "
-           "declare intent with // trng-analyzer: guards(field, mu)")
+           "declare intent with // trng-analyzer: guards(field, mu); "
+           "bodies of *_locked helpers run under the caller's guard and "
+           "are exempt by convention")
 
     def applies_to(self, rel):
-        return _under(rel, "src/service/", "src/stattests/")
+        return _under(rel, "src/service/", "src/stattests/", "src/server/")
 
     def check(self, tu, repo):
         findings = []
@@ -542,12 +578,19 @@ class LocksetConsistency(Rule):
         def lockset(line: int) -> set[str]:
             return {m for (a, b, m) in guards if a <= line <= b}
 
+        locked_spans = _locked_fn_spans(tu.stripped)
+
+        def in_locked_helper(line: int) -> bool:
+            return any(a <= line <= b for (a, b) in locked_spans)
+
         by_field: dict[str, list[facts.FieldAccess]] = {}
         for fa in tu.field_accesses:
             if fa.name.endswith(_SYNC_SUFFIXES):
                 continue
             if fa.name in repo.atomics:
                 continue   # SA006 owns atomics; locksets don't apply
+            if in_locked_helper(fa.line):
+                continue   # caller-holds-the-lock contract (*_locked)
             by_field.setdefault(fa.name, []).append(fa)
 
         for field in sorted(by_field):
@@ -693,14 +736,18 @@ class AtomicsDiscipline(Rule):
 
 # ----------------------------------------------------------------- SA007
 
-_TAINT_SOURCE_CALLS = {"generate_into", "pop_some", "draw",
-                       "draw_nonblocking"}
+# Callee -> index of the buffer argument the call taints. Most entropy
+# interfaces lead with the destination buffer; the sharded pool and the
+# DRBG conditioner take the shard index first, buffer second.
+_TAINT_SOURCE_CALLS = {"generate_into": 0, "pop_some": 0, "draw": 0,
+                       "draw_nonblocking": 0, "draw_from_shard": 1}
 
 # Definitions of the entropy-carrying interfaces taint their own word
 # buffer parameter: the body of generate_into writes raw entropy into
 # it, the body of push reads raw entropy out of it.
 _TAINT_DEF_RE = re.compile(
-    r"\b(generate_into|push|pop_some|draw|draw_nonblocking)\s*"
+    r"\b(generate_into|push|pop_some|draw|draw_nonblocking|"
+    r"draw_from_shard)\s*"
     r"\(([^)]*)\)[^;{}]*\{")
 
 _WORD_PTR_PARAM_RE = re.compile(
@@ -754,10 +801,18 @@ class EntropyLeakTaint(Rule):
     def _seed(self, tu: facts.TUFacts) -> set[str]:
         tainted: set[str] = set()
         for c in tu.calls:
-            if c.callee in _TAINT_SOURCE_CALLS and c.args:
-                name = facts.head_name(c.args[0])
-                if name and name not in _TYPE_HEADS:
-                    tainted.add(name)
+            idx = _TAINT_SOURCE_CALLS.get(c.callee)
+            if idx is not None:
+                # Conditioner::draw(shard, out, ...) leads with the shard
+                # index; the pool/source draw(out, ...) leads with the
+                # buffer. Disambiguate on the receiver.
+                if c.callee == "draw" and c.recv and \
+                        "conditioner" in c.recv.lower():
+                    idx = 1
+                if len(c.args) > idx:
+                    name = facts.head_name(c.args[idx])
+                    if name and name not in _TYPE_HEADS:
+                        tainted.add(name)
             elif c.callee == "push" and c.args and c.recv and \
                     "ring" in c.recv.lower():
                 name = facts.head_name(c.args[0])

@@ -40,6 +40,7 @@ EXPECTED = sorted([
     ("src/service/sa005_bad.cpp", "SA005"),   # mixed guarded/unguarded
     ("src/service/sa005_bad.cpp", "SA005"),   # disjoint guard sets
     ("src/service/sa005_bad.cpp", "SA005"),   # declared guards() violated
+    ("src/server/sa005_server_bad.cpp", "SA005"),  # rule covers src/server/
     ("src/service/sa006_bad.cpp", "SA006"),   # atomic without a role
     ("src/service/sa006_bad.cpp", "SA006"),   # relaxed store on a flag
     ("src/service/sa006_bad.cpp", "SA006"),   # relaxed load on a flag
@@ -49,6 +50,7 @@ EXPECTED = sorted([
     ("src/service/sa007_bad.cpp", "SA007"),   # raw word to a stream
     ("src/service/sa007_bad.cpp", "SA007"),   # raw word to to_string
     ("src/service/sa007_bad.cpp", "SA007"),   # raw word in an exception
+    ("src/server/sa007_shard_bad.cpp", "SA007"),  # draw_from_shard arg 1
     ("src/service/suppressed_bad.cpp", "SA000"),
     ("src/service/dangling_allow.cpp", "SA000"),
 ])
@@ -63,6 +65,7 @@ MUST_BE_CLEAN = [
     "src/service/sa006_good.cpp",
     "src/service/sa007_good.cpp",
     "src/service/suppressed_ok.cpp",
+    "src/server/sa005_locked_good.cpp",
 ]
 
 # (file, rule) pairs that must appear as suppressed=true in --json: the

@@ -3,13 +3,15 @@
 
 Compares a freshly measured BENCH_throughput.json against the committed
 baseline and fails when a headline metric regresses by more than the
-allowed fraction (default 25%). The headline metrics are the four
+allowed fraction (default 25%). The headline metrics are the five
 numbers the ROADMAP perf items are tracked by:
 
   - carry-chain-raw batched ns/bit      (lower is better)
   - carry-k4 batched ns/bit             (lower is better)
   - whole-battery word-parallel ns/bit  (lower is better)
   - pool_draw paced speedup at the largest producer count
+                                        (higher is better)
+  - server_draw requests/s at the best client count
                                         (higher is better)
 
 The gate is deliberately loose: microbenchmarks on shared CI runners
@@ -67,6 +69,13 @@ def headline_metrics(doc: dict) -> dict[str, tuple[float, str]]:
     top = max(rows, key=lambda r: r.get("producers", 0))
     out[f"pool_draw paced speedup @ {top['producers']} producers"] = (
         float(top["speedup_vs_1"]), "higher")
+
+    server_rows = _get(doc, "server_draw.rows")
+    if not server_rows:
+        raise KeyError("server_draw.rows")
+    best = max(server_rows, key=lambda r: r.get("requests_per_s", 0.0))
+    out["server_draw requests/s"] = (
+        float(best["requests_per_s"]), "higher")
     return out
 
 
@@ -120,16 +129,18 @@ def selftest(baseline: dict, max_regression: float) -> int:
     top = max(bad["pool_draw"]["paced"]["rows"],
               key=lambda r: r["producers"])
     top["speedup_vs_1"] /= factor
+    for row in bad["server_draw"]["rows"]:
+        row["requests_per_s"] /= factor
 
     tripped = compare(baseline, bad, max_regression)
     n_fail = sum(1 for line in tripped if line.startswith("FAIL"))
-    if n_fail != 4:
-        print(f"bench_diff selftest: perturbed run tripped {n_fail}/4 "
+    if n_fail != 5:
+        print(f"bench_diff selftest: perturbed run tripped {n_fail}/5 "
               f"metrics:", file=sys.stderr)
         print("\n".join(tripped), file=sys.stderr)
         return 1
     print("bench_diff selftest: OK (identical passes, perturbed trips "
-          "all 4 headline metrics)")
+          "all 5 headline metrics)")
     return 0
 
 

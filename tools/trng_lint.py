@@ -46,6 +46,13 @@ have historically gone silently wrong:
       removed. Genuinely bit-serial algorithms (ASCII parsers, von
       Neumann rejection) carry a justified suppression.
 
+  TL009 socket-confinement
+      No BSD socket calls (socket, socketpair, bind, listen, accept,
+      connect, send*, recv*) in src/ outside src/server/. The entropy
+      daemon owns the transport; a socket opened from the core or model
+      layers would make the hermetic simulation library network-facing
+      and untestable without a peer.
+
   TL008 kernel-equivalence-test
       Every kernel declared in a `wordpar` namespace in a header under
       src/stattests/ must be exercised by name in a tests/ file whose
@@ -368,8 +375,8 @@ class ThreadConfinement(Rule):
     rule_id = "TL007"
     name = "thread-confinement"
     doc = ("no .detach() anywhere in src/ and no raw std::thread/"
-           "std::jthread outside src/service/; the service layer owns its "
-           "worker threads and always joins them")
+           "std::jthread outside src/service/ and src/server/; those two "
+           "layers own their worker threads and always join them")
 
     # .detach() is banned everywhere in src/ (service included): a detached
     # thread outlives the rings/metrics it references and cannot be joined
@@ -390,14 +397,41 @@ class ThreadConfinement(Rule):
                 _line_of(stripped, m.start()),
                 "detached threads cannot be joined at shutdown and outlive "
                 "the state they reference; keep the handle and join it"))
-        if not _under(rel, "src/service/"):
+        if not _under(rel, "src/service/", "src/server/"):
             for m in self.THREAD_RE.finditer(stripped):
                 findings.append((
                     _line_of(stripped, m.start()),
-                    "raw std::thread outside src/service/; thread ownership "
-                    "is confined to the service layer (Producer/EntropyPool) "
-                    "so every worker is provably joined"))
+                    "raw std::thread outside src/service/ and src/server/; "
+                    "thread ownership is confined to those layers "
+                    "(Producer/EntropyPool, ServerDaemon sessions) so every "
+                    "worker is provably joined"))
         return findings
+
+
+class SocketConfinement(PatternRule):
+    rule_id = "TL009"
+    name = "socket-confinement"
+    doc = ("no BSD socket calls (socket/socketpair/bind/listen/accept/"
+           "connect/send*/recv*) in src/ outside src/server/; the daemon "
+           "owns the transport, the simulation library stays hermetic")
+
+    # Matches a bare or globally-qualified call — `bind(`, `::bind(` — but
+    # not `std::bind(`, `obj.connect(` or `ptr->accept(`: the optional `::`
+    # is consumed by the pattern, and the lookbehind rejects any word
+    # character, member access or further qualification in front of it.
+    patterns = [
+        (re.compile(
+            r"(?<![\w.>:])(?:::\s*)?"
+            r"(?:socket|socketpair|bind|listen|accept4?|connect|"
+            r"send(?:to|msg)?|recv(?:from|msg)?)\s*\("),
+         "BSD socket call outside src/server/; network transport is "
+         "confined to the daemon layer"),
+    ]
+
+    def applies_to(self, rel):
+        if _under(rel, "src/server/"):
+            return False
+        return _under(rel, "src/")
 
 
 class KernelEquivalenceTest(Rule):
@@ -464,6 +498,7 @@ RULES: list[Rule] = [
     TestInclude(),
     PerBitPushBack(),
     ThreadConfinement(),
+    SocketConfinement(),
     KernelEquivalenceTest(),
 ]
 

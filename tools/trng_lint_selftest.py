@@ -42,6 +42,9 @@ EXPECTED = sorted([
     ("src/core/bad_thread.cpp", "TL007"),    # std::thread construction
     ("src/core/bad_thread.cpp", "TL007"),    # .detach()
     ("src/core/bad_thread.cpp", "TL007"),    # std::thread member
+    ("src/core/bad_socket.cpp", "TL009"),    # ::socket(
+    ("src/core/bad_socket.cpp", "TL009"),    # ::bind(
+    ("src/core/bad_socket.cpp", "TL009"),    # bare recv(
     ("src/stattests/wordpar_kernels.hpp", "TL008"),  # uncovered_kernel
     ("src/model/suppressed_bad.cpp", "TL000"),
     ("src/model/dangling_allow.cpp", "TL000"),
@@ -56,6 +59,7 @@ MUST_BE_CLEAN = [
     "src/model/suppressed_ok.cpp",
     "src/core/clean.cpp",
     "src/service/clean_thread.cpp",
+    "src/server/clean_socket.cpp",
 ]
 
 
@@ -103,7 +107,7 @@ def main() -> int:
         [sys.executable, str(LINT), "--list-rules"],
         capture_output=True, text=True)
     for rule_id in ("TL001", "TL002", "TL003", "TL004", "TL005", "TL006",
-                    "TL007", "TL008"):
+                    "TL007", "TL008", "TL009"):
         if rule_id not in rules.stdout:
             failures.append(f"--list-rules does not document {rule_id}")
 
