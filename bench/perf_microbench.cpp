@@ -686,11 +686,11 @@ void emit_throughput_json() {
       common::env_size("TRNG_BENCH_POOL_PACE", 32000));
   std::vector<PoolRow> paced_rows;
   std::vector<PoolRow> unpaced_rows;
-  for (std::size_t producers : {1, 2, 4, 8}) {
+  for (std::size_t producers : {1, 2, 4, 8, 16}) {
     paced_rows.push_back(
         {producers, measure_pool_draw(producers, pool_pace, pool_bits)});
   }
-  for (std::size_t producers : {1, 2, 4, 8}) {
+  for (std::size_t producers : {1, 2, 4, 8, 16}) {
     unpaced_rows.push_back(
         {producers, measure_pool_draw(producers, 0.0, pool_bits)});
   }

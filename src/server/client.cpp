@@ -26,12 +26,19 @@ DrawReply draw(int fd, std::uint32_t nbytes, bool prediction_resistance,
   if (!decode_response(header, &rsp)) return reply;
   reply.status = rsp.status;
   reply.shard = rsp.shard;
-  if (rsp.payload_bytes > 0) {
+  // Never allocate on the peer's say-so: a kOk draw carries exactly the
+  // requested bytes and every other status carries none (session.hpp
+  // protocol). A frame claiming anything else is hostile or corrupt —
+  // fail the reply (ok stays false) without reading or allocating.
+  if (rsp.status == Status::kOk) {
+    if (rsp.payload_bytes != nbytes) return reply;
     reply.bytes.resize(rsp.payload_bytes);
     if (!read_full(fd, reply.bytes.data(), reply.bytes.size())) {
       reply.bytes.clear();
       return reply;
     }
+  } else if (rsp.payload_bytes != 0) {
+    return reply;
   }
   reply.ok = true;
   return reply;
@@ -48,6 +55,9 @@ std::string fetch_metrics(int fd) {
   if (!read_full(fd, header, sizeof(header))) return {};
   ResponseHeader rsp;
   if (!decode_response(header, &rsp) || rsp.status != Status::kOk) return {};
+  // Metrics JSON has no request-side length to check against, so bound the
+  // allocation by a sane ceiling instead of the peer's claimed 4 GiB max.
+  if (rsp.payload_bytes > kMaxMetricsBytes) return {};
   std::string json(rsp.payload_bytes, '\0');
   if (rsp.payload_bytes > 0 &&
       !read_full(fd, json.data(), json.size())) {

@@ -13,8 +13,15 @@
 
 namespace trng::server::client {
 
+/// Largest metrics payload the client will accept. A metrics reply has no
+/// request-side length to validate against, so allocation is bounded by
+/// this ceiling instead of the peer's claimed (up to 4 GiB) frame length.
+inline constexpr std::uint32_t kMaxMetricsBytes = 1u << 22;  // 4 MiB
+
 /// Outcome of one framed exchange. `ok` means the transport worked and
-/// the response decoded; `status` is the server's verdict.
+/// the response both decoded and obeyed the protocol's length rules: a
+/// kOk draw carries exactly the requested bytes, any other status carries
+/// none. `status` is the server's verdict.
 struct DrawReply {
   bool ok = false;
   Status status = Status::kBadRequest;
@@ -24,7 +31,9 @@ struct DrawReply {
 
 /// Sends one draw request and reads the reply. `shard` defaults to the
 /// session's assigned shard; set `prediction_resistance` to demand a
-/// fresh reseed before the generate.
+/// fresh reseed before the generate. The reply's payload length is
+/// validated against `nbytes` before any allocation, so a hostile server
+/// cannot make the client allocate or block on bytes it never asked for.
 DrawReply draw(int fd, std::uint32_t nbytes,
                bool prediction_resistance = false,
                std::uint16_t shard = kAnyShard);

@@ -61,6 +61,12 @@ void encode_request(const Request& req,
 bool decode_request(const std::uint8_t in[kRequestFrameBytes],
                     Request* req) {
   if (get_u32(in) != kRequestMagic) return false;
+  // Range-check before the enum cast: a junk type byte must not become an
+  // out-of-range MessageType value that switches hit their default on.
+  if (in[4] != static_cast<std::uint8_t>(MessageType::kDraw) &&
+      in[4] != static_cast<std::uint8_t>(MessageType::kMetrics)) {
+    return false;
+  }
   req->type = static_cast<MessageType>(in[4]);
   req->flags = in[5];
   req->shard = get_u16(in + 6);
@@ -81,6 +87,9 @@ void encode_response(const ResponseHeader& rsp,
 bool decode_response(const std::uint8_t in[kResponseHeaderBytes],
                      ResponseHeader* rsp) {
   if (get_u32(in) != kResponseMagic) return false;
+  // Range-check before the enum cast: a hostile or corrupt peer must not
+  // hand the client an out-of-range Status value.
+  if (in[4] > static_cast<std::uint8_t>(Status::kShuttingDown)) return false;
   rsp->status = static_cast<Status>(in[4]);
   rsp->shard = get_u16(in + 6);
   rsp->payload_bytes = get_u32(in + 8);
@@ -142,6 +151,17 @@ void SessionConfig::validate() const {
     throw std::invalid_argument(
         "SessionConfig: max_request_bytes must be >= 1");
   }
+  // A token bucket never accumulates past its burst, so with limiting on,
+  // any request larger than the burst would be answered kRateLimited
+  // forever — a starvation trap for requests the size ceiling says are
+  // legal. Reject the configuration instead of starving clients at runtime.
+  if (rate_bytes_per_s > 0.0 &&
+      burst_bytes < static_cast<double>(max_request_bytes)) {
+    throw std::invalid_argument(
+        "SessionConfig: burst_bytes must be >= max_request_bytes when rate "
+        "limiting is enabled (a request above the burst can never pass the "
+        "bucket and would be rate-limited forever)");
+  }
 }
 
 Session::Session(int fd, std::size_t id, std::uint16_t default_shard,
@@ -172,7 +192,14 @@ bool Session::serve_draw(const Request& req) {
     metrics_.shutdown_refusals.fetch_add(1, std::memory_order_relaxed);
     rsp.status = Status::kShuttingDown;
   } else if (req.nbytes == 0 || req.nbytes > config_.max_request_bytes ||
-             shard >= conditioner_.shards()) {
+             shard >= conditioner_.shards() ||
+             // Defense in depth behind validate()'s burst >= max_request
+             // invariant: a request the bucket could never grant is a
+             // malformed request, not a transient rate condition — answer
+             // kBadRequest once instead of looping the client on
+             // kRateLimited forever.
+             (config_.rate_bytes_per_s > 0.0 &&
+              static_cast<double>(req.nbytes) > config_.burst_bytes)) {
     cc.bad_requests.fetch_add(1, std::memory_order_relaxed);
     rsp.status = Status::kBadRequest;
   } else if (!bucket_.try_take(static_cast<double>(req.nbytes),

@@ -67,11 +67,14 @@ struct ResponseHeader {
 };
 
 void encode_request(const Request& req, std::uint8_t out[kRequestFrameBytes]);
-/// False when the magic does not match (desynchronized peer).
+/// False when the magic does not match (desynchronized peer) or the type
+/// byte is not a known MessageType — never yields an out-of-range enum.
 bool decode_request(const std::uint8_t in[kRequestFrameBytes], Request* req);
 
 void encode_response(const ResponseHeader& rsp,
                      std::uint8_t out[kResponseHeaderBytes]);
+/// False when the magic does not match or the status byte is not a known
+/// Status — never yields an out-of-range enum.
 bool decode_response(const std::uint8_t in[kResponseHeaderBytes],
                      ResponseHeader* rsp);
 
@@ -103,6 +106,9 @@ struct SessionConfig {
   /// Token-bucket refill rate in conditioned bytes/s; 0 = unlimited.
   double rate_bytes_per_s = 0.0;
   /// Bucket capacity in bytes (also the instantaneous burst ceiling).
+  /// With rate limiting on, must be >= max_request_bytes: the bucket never
+  /// accumulates past its burst, so a smaller burst would rate-limit every
+  /// request above it forever instead of ever serving it.
   double burst_bytes = 1 << 16;
   /// Per-request size ceiling enforced before the conditioner sees it.
   std::uint32_t max_request_bytes = 1 << 16;

@@ -24,8 +24,10 @@ EntropyPool::EntropyPool(SourceFactory make, PoolConfig config)
   config_.validate();
   rings_.reserve(config_.producers);
   producers_.reserve(config_.producers);
+  stripe_mu_.reserve(config_.producers);
   for (std::size_t i = 0; i < config_.producers; ++i) {
     rings_.push_back(std::make_unique<WordRing>(config_.ring_capacity_words));
+    stripe_mu_.push_back(std::make_unique<std::mutex>());
     producers_.push_back(std::make_unique<Producer>(
         i, make, config_.stream_seed_base + i, config_.producer, *rings_[i],
         metrics_.producer(i)));
@@ -65,6 +67,18 @@ bool EntropyPool::any_ring_nonempty() const {
   return false;
 }
 
+common::Words EntropyPool::pop_shard_locked(std::size_t i, std::uint64_t* out,
+                                            common::Words nwords) {
+  const common::Words got = rings_[i]->pop_some(out, nwords);
+  if (!got.is_zero()) {
+    metrics_.producer(i).words_drawn.fetch_add(got.count(),
+                                               std::memory_order_relaxed);
+    metrics_.producer(i).ring_words.store(rings_[i]->size().count(),
+                                          std::memory_order_relaxed);
+  }
+  return got;
+}
+
 common::Words EntropyPool::drain_rings(std::uint64_t* words,
                                        common::Words nwords) {
   const std::size_t want = nwords.count();
@@ -72,23 +86,43 @@ common::Words EntropyPool::drain_rings(std::uint64_t* words,
   const std::size_t start =
       shard_cursor_.fetch_add(1, std::memory_order_relaxed) % n;
   std::size_t delivered = 0;
-  // Keep sweeping the shards while any of them yields words; stop only
-  // after one full empty-handed sweep.
+  // Pass 1 — striped, work-stealing: sweep from a rotating start shard,
+  // try-locking each shard's consumer stripe. A busy stripe means another
+  // consumer is mid-pop on that ring, so steal from the next shard instead
+  // of convoying behind it. Keep sweeping while any shard yields words;
+  // stop after one full empty-handed sweep.
+  bool skipped_busy = false;
   bool progressed = true;
   while (delivered < want && progressed) {
     progressed = false;
+    skipped_busy = false;
     for (std::size_t k = 0; k < n && delivered < want; ++k) {
       const std::size_t i = (start + k) % n;
-      const common::Words got = rings_[i]->pop_some(
-          words + delivered, common::Words{want - delivered});
+      std::unique_lock<std::mutex> stripe(*stripe_mu_[i], std::try_to_lock);
+      if (!stripe.owns_lock()) {
+        skipped_busy = true;
+        continue;
+      }
+      const common::Words got = pop_shard_locked(
+          i, words + delivered, common::Words{want - delivered});
       if (!got.is_zero()) {
         progressed = true;
         delivered += got.count();
-        metrics_.producer(i).words_drawn.fetch_add(
-            got.count(), std::memory_order_relaxed);
-        metrics_.producer(i).ring_words.store(rings_[i]->size().count(),
-                                              std::memory_order_relaxed);
       }
+    }
+  }
+  // Pass 2 — patient: only when pass 1 delivered nothing because every
+  // word in sight sat behind a busy stripe. Blocking on the stripe (pops
+  // never block, so the hold is bounded) guarantees a caller whose wait
+  // predicate saw a nonempty ring makes progress instead of spinning
+  // drain→wait→drain against a stripe another consumer holds.
+  if (delivered == 0 && skipped_busy) {
+    for (std::size_t k = 0; k < n && delivered < want; ++k) {
+      const std::size_t i = (start + k) % n;
+      std::unique_lock<std::mutex> stripe(*stripe_mu_[i]);
+      delivered +=
+          pop_shard_locked(i, words + delivered, common::Words{want - delivered})
+              .count();
     }
   }
   return common::Words{delivered};
@@ -153,7 +187,6 @@ common::Words EntropyPool::draw_from_shard(std::size_t shard,
   }
   metrics_.draws.fetch_add(1, std::memory_order_relaxed);
   WordRing& ring = *rings_[shard];
-  ProducerCounters& counters = metrics_.producer(shard);
   const std::uint64_t start_ns = monotonic_ns();
   // Saturating add: a near-max timeout must not wrap into the past.
   const std::uint64_t deadline = (timeout_ns > ~std::uint64_t{0} - start_ns)
@@ -162,14 +195,14 @@ common::Words EntropyPool::draw_from_shard(std::size_t shard,
   common::Words delivered{0};
   std::uint64_t waited_ns = 0;
   const auto pop = [&]() {
+    // The stripe serializes this pop against concurrent drain_rings sweeps
+    // (WordRing's pop side is single-consumer). Held only across the pop,
+    // never across the wait below — a sleeping reseed must not convoy the
+    // pool's drain path. Lock order data_mu_ → stripe holds here too.
+    std::unique_lock<std::mutex> stripe(*stripe_mu_[shard]);
     const common::Words got =
-        ring.pop_some(words + delivered.count(), nwords - delivered);
-    if (!got.is_zero()) {
-      delivered += got;
-      counters.words_drawn.fetch_add(got.count(), std::memory_order_relaxed);
-      counters.ring_words.store(ring.size().count(),
-                                std::memory_order_relaxed);
-    }
+        pop_shard_locked(shard, words + delivered.count(), nwords - delivered);
+    delivered += got;
     return got;
   };
   pop();

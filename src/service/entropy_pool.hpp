@@ -108,7 +108,20 @@ class EntropyPool {
   WordRing& ring(std::size_t i) { return *rings_[i]; }
 
  private:
+  /// Sweeps the shards from a rotating start index and delivers whatever
+  /// is buffered, up to `nwords`. Two passes: a striped, non-blocking pass
+  /// that try-locks each shard's consumer stripe and steals from the next
+  /// shard when one is busy, then — only if nothing was delivered and a
+  /// stripe was skipped busy — a patient pass with blocking stripe locks,
+  /// so a caller whose wait predicate saw a nonempty ring cannot spin
+  /// against a stripe another consumer is mid-pop on.
   common::Words drain_rings(std::uint64_t* words, common::Words nwords);
+
+  /// Pops up to `nwords` from ring `i` into `out` and updates that
+  /// producer's drawn/occupancy counters. Caller holds stripe_mu_[i]
+  /// (WordRing's pop side is single-consumer).
+  common::Words pop_shard_locked(std::size_t i, std::uint64_t* out,
+                                 common::Words nwords);
 
   /// True when any producer ring has buffered words. Used as the condvar
   /// wait predicate in draw(): together with `stopped_` it re-checks the
@@ -120,6 +133,12 @@ class EntropyPool {
   Metrics metrics_;
   std::vector<std::unique_ptr<WordRing>> rings_;
   std::vector<std::unique_ptr<Producer>> producers_;
+
+  /// One consumer stripe lock per ring: WordRing's lock-free pop side is
+  /// single-consumer, so the pool serializes poppers per shard here
+  /// instead of inside the ring. Lock order: data_mu_ before any stripe,
+  /// never the reverse; at most one stripe held at a time.
+  std::vector<std::unique_ptr<std::mutex>> stripe_mu_;
 
   /// Round-robin fairness hint only: which ring a draw sweeps first.
   /// Losing an increment shifts the start shard, nothing more.

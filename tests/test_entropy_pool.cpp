@@ -7,11 +7,13 @@
 // ctest preset selects them with the regex ^(Service|EntropyPool).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -120,6 +122,158 @@ TEST(ServiceRing, CloseUnblocksAndTruncatesPush) {
   EXPECT_EQ(out, fill);
   std::uint64_t word = 7;
   EXPECT_EQ(ring.push(&word, Words{1}, nullptr), Words{0});
+}
+
+TEST(ServiceRing, TryPushIsNonblockingAndStopsAtCapacity) {
+  service::WordRing ring(Words{4});
+  std::vector<std::uint64_t> in = {1, 2, 3, 4, 5, 6};
+  // Fills to capacity and returns short instead of blocking.
+  EXPECT_EQ(ring.try_push(in.data(), Words{in.size()}), Words{4});
+  EXPECT_EQ(ring.size(), Words{4});
+  EXPECT_EQ(ring.try_push(in.data(), Words{1}), Words{0});
+
+  // Freed space is visible to the next try_push.
+  std::uint64_t out[4];
+  ASSERT_EQ(ring.pop_some(out, Words{2}), Words{2});
+  EXPECT_EQ(ring.try_push(in.data() + 4, Words{2}), Words{2});
+  std::vector<std::uint64_t> rest(4);
+  ASSERT_EQ(ring.pop_some(rest.data(), Words{4}), Words{4});
+  const std::vector<std::uint64_t> expect = {3, 4, 5, 6};
+  EXPECT_EQ(rest, expect);
+
+  // A closed ring refuses new words outright.
+  ring.close();
+  EXPECT_EQ(ring.try_push(in.data(), Words{1}), Words{0});
+}
+
+TEST(ServiceRing, OddCapacityFifoAcrossManyWraps) {
+  // Capacity 5 is deliberately not a power of two: the free-running
+  // indices are reduced modulo the capacity, so slot math must hold for
+  // arbitrary sizes, not just masks.
+  service::WordRing ring(Words{5});
+  std::uint64_t next_in = 0, next_out = 0;
+  std::uint64_t buf[5];
+  const std::size_t push_sizes[] = {3, 1, 4, 2, 5, 1, 3};
+  const std::size_t pop_sizes[] = {1, 4, 2, 3, 5, 2, 4};
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t want_in = push_sizes[round % 7];
+    for (std::size_t i = 0; i < want_in; ++i) buf[i] = next_in + i;
+    next_in += ring.try_push(buf, Words{want_in}).count();
+    const std::size_t got =
+        ring.pop_some(buf, Words{pop_sizes[round % 7]}).count();
+    for (std::size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(buf[i], next_out + i) << "out-of-order word after wrap";
+    }
+    next_out += got;
+  }
+  // Drain the tail and confirm nothing was lost or duplicated.
+  std::size_t got = 0;
+  while ((got = ring.pop_some(buf, Words{5}).count()) > 0) {
+    for (std::size_t i = 0; i < got; ++i) ASSERT_EQ(buf[i], next_out + i);
+    next_out += got;
+  }
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(ServiceRing, CloseMidBatchPushReturnsPartialCount) {
+  service::WordRing ring(Words{4});
+  std::vector<std::uint64_t> batch = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Words pushed{0};
+  std::uint64_t stall_ns = 0;
+  std::thread pusher([&] {
+    // 10 words into a 4-word ring: 4 fit, then the push blocks.
+    pushed = ring.push(batch.data(), Words{batch.size()}, &stall_ns);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.close();
+  pusher.join();
+
+  // The close truncated the batch after the words that fit.
+  EXPECT_EQ(pushed, Words{4});
+  EXPECT_GT(stall_ns, 0u);
+  std::vector<std::uint64_t> out(4);
+  ASSERT_EQ(ring.pop_some(out.data(), Words{4}), Words{4});
+  const std::vector<std::uint64_t> expect = {1, 2, 3, 4};
+  EXPECT_EQ(out, expect);
+}
+
+// ---------------------------------------------------------- WordRing stress
+
+// SPSC torture: one producer pushing a monotone word sequence through a
+// tiny ring, one consumer popping ragged chunks. Any missed release/
+// acquire pairing shows up as a reordered/duplicated/lost word (and TSan
+// flags the unsynchronized buffer access under the tsan-service preset).
+TEST(ServiceRingStress, ConcurrentPushPopConservesWordsAndOrder) {
+  constexpr std::uint64_t kTotal = 1 << 16;
+  service::WordRing ring(Words{7});  // tiny + odd: constant wraps and stalls
+
+  std::thread producer([&] {
+    std::uint64_t block[13];
+    std::uint64_t next = 0;
+    while (next < kTotal) {
+      const std::size_t n =
+          std::min<std::uint64_t>(1 + next % 13, kTotal - next);
+      for (std::size_t i = 0; i < n; ++i) block[i] = next + i;
+      const Words pushed = ring.push(block, Words{n}, nullptr);
+      ASSERT_EQ(pushed, Words{n});  // never truncated: ring is not closed
+      next += n;
+    }
+  });
+
+  std::uint64_t out[19];
+  std::uint64_t expect = 0;
+  while (expect < kTotal) {
+    const std::size_t got =
+        ring.pop_some(out, Words{1 + expect % 19}).count();
+    for (std::size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(out[i], expect + i) << "lost/duplicated/reordered word";
+    }
+    expect += got;
+  }
+  producer.join();
+  EXPECT_EQ(ring.size(), Words{0});
+}
+
+// The pool hands the consumer role across threads under a stripe lock; the
+// ring itself only requires *at most one* popper at a time, not the same
+// thread forever. Two poppers alternating under a mutex must still observe
+// one gapless FIFO stream (the lock's ordering carries the consumer-side
+// cursor snapshot across the handoff).
+TEST(ServiceRingStress, ConsumerHandoffAcrossThreadsKeepsOrder) {
+  constexpr std::uint64_t kTotal = 1 << 15;
+  service::WordRing ring(Words{11});
+
+  std::thread producer([&] {
+    std::uint64_t block[8];
+    std::uint64_t next = 0;
+    while (next < kTotal) {
+      const std::size_t n = std::min<std::uint64_t>(8, kTotal - next);
+      for (std::size_t i = 0; i < n; ++i) block[i] = next + i;
+      ASSERT_EQ(ring.push(block, Words{n}, nullptr), Words{n});
+      next += n;
+    }
+  });
+
+  std::mutex stripe;            // emulates EntropyPool's per-ring stripe
+  std::uint64_t expect = 0;     // shared FIFO cursor, guarded by stripe
+  auto popper = [&] {
+    std::uint64_t out[5];
+    for (;;) {
+      std::lock_guard<std::mutex> lk(stripe);
+      if (expect >= kTotal) return;
+      const std::size_t got = ring.pop_some(out, Words{5}).count();
+      for (std::size_t i = 0; i < got; ++i) {
+        ASSERT_EQ(out[i], expect + i) << "handoff broke FIFO order";
+      }
+      expect += got;
+    }
+  };
+  std::thread popper_a(popper);
+  std::thread popper_b(popper);
+  popper_a.join();
+  popper_b.join();
+  producer.join();
+  EXPECT_EQ(expect, kTotal);
 }
 
 // --------------------------------------------------------------- Histogram
@@ -566,6 +720,79 @@ TEST(EntropyPool, ConcurrentConsumersSplitTheStreamWithoutLossOrDuplication) {
   }
   EXPECT_EQ(pool.metrics().words_drawn.load(), per_producer_drawn);
   EXPECT_EQ(per_producer_drawn, 2 * kPerConsumer);
+}
+
+// Heavier fan-out over the striped drain path: more consumers than shards
+// guarantees stripe contention, so the try-lock steal pass and the patient
+// second pass both run. Word conservation must survive the stealing.
+TEST(EntropyPool, ManyConsumersStripedDrawConservesWords) {
+  constexpr std::size_t kConsumers = 8;
+  constexpr std::size_t kPerConsumer = 256;
+  service::PoolConfig cfg;
+  cfg.producers = 4;
+  cfg.producer = permissive_producer(512);
+  cfg.ring_capacity_words = Words{64};
+
+  service::EntropyPool pool(registry_factory("str-virtex", 105), cfg);
+  pool.start();
+
+  std::atomic<std::size_t> delivered{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      std::vector<std::uint64_t> out(kPerConsumer);
+      std::size_t at = 0;
+      while (at < kPerConsumer) {
+        const std::size_t chunk =
+            std::min<std::size_t>(1 + c * 7 % 32, kPerConsumer - at);
+        const std::size_t got = pool.draw(out.data() + at, Words{chunk}).count();
+        at += got;
+        delivered.fetch_add(got);
+        if (got < chunk) break;  // stopped underneath us
+      }
+    });
+  }
+  for (auto& t : consumers) t.join();
+  pool.stop();
+
+  EXPECT_EQ(delivered.load(), kConsumers * kPerConsumer);
+  std::uint64_t per_producer_drawn = 0;
+  for (std::size_t i = 0; i < cfg.producers; ++i) {
+    const auto& c = pool.metrics().producer(i);
+    per_producer_drawn += c.words_drawn.load();
+    EXPECT_LE(c.words_drawn.load(), c.words_produced.load());
+  }
+  EXPECT_EQ(pool.metrics().words_drawn.load(), per_producer_drawn);
+  EXPECT_EQ(per_producer_drawn, kConsumers * kPerConsumer);
+}
+
+// The conditioner's reseed path rides draw_from_shard: it must deliver
+// only the named shard's words (now via that shard's stripe lock) and
+// come back short on timeout instead of borrowing from healthy shards.
+TEST(EntropyPool, DrawFromShardIsShardConfinedAndTimesOut) {
+  service::PoolConfig cfg;
+  cfg.producers = 2;
+  cfg.producer = permissive_producer(512);
+  cfg.ring_capacity_words = Words{64};
+
+  // Never started: drive only producer 0 by hand so shard 1 stays empty.
+  service::EntropyPool pool(registry_factory("str-virtex", 115), cfg);
+  ASSERT_TRUE(pool.producer(0).step());  // 512 bits = 8 words into ring 0
+
+  std::vector<std::uint64_t> words(8);
+  EXPECT_EQ(pool.draw_from_shard(0, words.data(), Words{8},
+                                 /*timeout_ns=*/1'000'000'000ull),
+            Words{8});
+  EXPECT_EQ(pool.metrics().producer(0).words_drawn.load(), 8u);
+  EXPECT_EQ(pool.metrics().producer(1).words_drawn.load(), 0u);
+
+  // Shard 1 never produced: a bounded wait must expire, not hang or steal.
+  EXPECT_EQ(pool.draw_from_shard(1, words.data(), Words{1},
+                                 /*timeout_ns=*/1'000'000ull),
+            Words{0});
+  EXPECT_THROW(pool.draw_from_shard(2, words.data(), Words{1}, 0),
+               std::out_of_range);
 }
 
 TEST(EntropyPool, SnapshotJsonReflectsLiveCounters) {

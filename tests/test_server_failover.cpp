@@ -122,7 +122,14 @@ TEST(ServerFailover, HealthyShardUnaffectedVictimServesUntilSeedExpires) {
   cfg.pool.producer.block_bits = Bits{2048};
   cfg.pool.producer.h_per_bit = 0.80;
   cfg.pool.producer.quarantine.alarm_threshold = 1;
-  cfg.pool.producer.quarantine.cooldown_blocks = 1;
+  // A long cooldown makes starvation robust to execution speed: any alarm
+  // during cooldown restarts it, so readmission under a persistent attack
+  // needs cooldown + probation + 1 *consecutive* clean blocks. With a
+  // short cooldown the beat between the injection tone and the bit rate
+  // lines up often enough that straggler blocks keep refilling the seed
+  // within the (instrumentation-scaled) reseed deadline, and the victim
+  // never starves into backpressure on slow/instrumented runs.
+  cfg.pool.producer.quarantine.cooldown_blocks = 12;
   cfg.pool.producer.quarantine.probation_blocks = 2;
   cfg.pool.ring_capacity_words = Words{256};
   cfg.pool.stream_seed_base = 17;

@@ -259,8 +259,11 @@ TEST(ServerDaemonTest, RateLimitedClientIsDeniedThenServedAfterRefill) {
   ServerConfig cfg = base_config(1);
   // 1 byte/s with a 1 KiB burst: the first 1024-byte draw passes, the
   // second is denied (refilling 1024 tokens would take ~17 minutes).
+  // max_request matches the burst — validate() rejects burst < max_request
+  // because such requests could never pass the bucket.
   cfg.session.rate_bytes_per_s = 1.0;
   cfg.session.burst_bytes = 1024.0;
+  cfg.session.max_request_bytes = 1024;
   ServerDaemon daemon(registry_factory("str-virtex", 340), cfg);
   daemon.start();
   const int fd = daemon.connect_client();

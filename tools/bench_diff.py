@@ -36,6 +36,13 @@ import sys
 
 SKIP_EXIT = 77
 
+# The pool_draw headline key embeds the largest measured producer count
+# ("pool_draw paced speedup @ 16 producers"), which changes when the bench
+# fleet is re-run at a different sweep. compare() matches these keys by
+# prefix so a baseline from an @8 sweep still gates an @16 measurement
+# (and vice versa) instead of failing on the name.
+POOL_DRAW_PREFIX = "pool_draw paced speedup @"
+
 
 def _get(d: dict, path: str):
     """Dotted-path lookup; raises KeyError with the full path on miss."""
@@ -87,10 +94,17 @@ def compare(baseline: dict, fresh: dict,
     fresh_metrics = headline_metrics(fresh)
     lines = []
     for name, (base_value, direction) in base_metrics.items():
-        if name not in fresh_metrics:
+        fresh_name = name
+        if name not in fresh_metrics and name.startswith(POOL_DRAW_PREFIX):
+            fresh_name = next(
+                (k for k in fresh_metrics if k.startswith(POOL_DRAW_PREFIX)),
+                name)
+        if fresh_name not in fresh_metrics:
             lines.append(f"FAIL {name}: missing from fresh measurement")
             continue
-        fresh_value = fresh_metrics[name][0]
+        fresh_value = fresh_metrics[fresh_name][0]
+        if fresh_name != name:
+            name = f"{name} (fresh: {fresh_name})"
         if base_value <= 0:
             lines.append(f"SKIP {name}: non-positive baseline "
                          f"{base_value}")
