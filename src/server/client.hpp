@@ -34,13 +34,13 @@ struct DrawReply {
 /// fresh reseed before the generate. The reply's payload length is
 /// validated against `nbytes` before any allocation, so a hostile server
 /// cannot make the client allocate or block on bytes it never asked for.
-DrawReply draw(int fd, std::uint32_t nbytes,
+[[nodiscard]] DrawReply draw(int fd, std::uint32_t nbytes,
                bool prediction_resistance = false,
                std::uint16_t shard = kAnyShard);
 
 /// Sends one metrics request; returns the daemon's metrics JSON, or an
 /// empty string on transport failure.
-std::string fetch_metrics(int fd);
+[[nodiscard]] std::string fetch_metrics(int fd);
 
 /// Connects to a daemon's AF_UNIX socket; returns the fd or -1.
 int connect_unix(const std::string& path);

@@ -85,6 +85,11 @@ class Conditioner {
 
  private:
   struct Shard {
+    // Declared lock order (SA008): the shard mutex is the outermost
+    // lock on the conditioning path — the pool's locks nest inside it
+    // (draw_entropy holds mu across EntropyPool::draw), never the
+    // reverse.
+    // trng-analyzer: lock-order(mu, EntropyPool::data_mu_)
     std::mutex mu;
     // Declared locking contract (SA005): the DRBG state and the partial
     // seed buffer advance together on every draw, so all access is under
@@ -103,7 +108,7 @@ class Conditioner {
   /// reseed_timeout_ns); returns true once a full seed is buffered.
   /// Partial draws stay buffered so starved attempts waste no entropy.
   /// Caller holds s.mu.
-  bool fill_seed(std::size_t index, Shard& s);
+  [[nodiscard]] bool fill_seed(std::size_t index, Shard& s);
 
   /// Consumes the full seed buffer into an instantiate or reseed.
   /// Caller holds s.mu with seed_buf full.

@@ -264,7 +264,9 @@ void Session::serve() {
       rsp.status = Status::kBadRequest;
       std::uint8_t header[kResponseHeaderBytes];
       encode_response(rsp, header);
-      write_full(fd_, header, sizeof(header));
+      // Best-effort courtesy reply: the connection is dropped either
+      // way, so a failed write changes nothing.
+      (void)write_full(fd_, header, sizeof(header));
       break;
     }
     bool ok = false;

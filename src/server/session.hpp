@@ -69,20 +69,21 @@ struct ResponseHeader {
 void encode_request(const Request& req, std::uint8_t out[kRequestFrameBytes]);
 /// False when the magic does not match (desynchronized peer) or the type
 /// byte is not a known MessageType — never yields an out-of-range enum.
-bool decode_request(const std::uint8_t in[kRequestFrameBytes], Request* req);
+[[nodiscard]] bool decode_request(const std::uint8_t in[kRequestFrameBytes],
+                                  Request* req);
 
 void encode_response(const ResponseHeader& rsp,
                      std::uint8_t out[kResponseHeaderBytes]);
 /// False when the magic does not match or the status byte is not a known
 /// Status — never yields an out-of-range enum.
-bool decode_response(const std::uint8_t in[kResponseHeaderBytes],
-                     ResponseHeader* rsp);
+[[nodiscard]] bool decode_response(const std::uint8_t in[kResponseHeaderBytes],
+                                   ResponseHeader* rsp);
 
 /// Reads/writes exactly `n` bytes, riding out EINTR and partial
 /// transfers. read_full returns false on EOF or error (posix read);
 /// write_full returns false on error.
-bool read_full(int fd, void* buf, std::size_t n);
-bool write_full(int fd, const void* buf, std::size_t n);
+[[nodiscard]] bool read_full(int fd, void* buf, std::size_t n);
+[[nodiscard]] bool write_full(int fd, const void* buf, std::size_t n);
 
 /// Classic token bucket in byte units. Not thread-safe: each session owns
 /// one and charges it from its serving thread only.
@@ -141,8 +142,8 @@ class Session {
   std::size_t id() const { return id_; }
 
  private:
-  bool serve_draw(const Request& req);
-  bool serve_metrics();
+  [[nodiscard]] bool serve_draw(const Request& req);
+  [[nodiscard]] bool serve_metrics();
 
   int fd_;
   std::size_t id_;

@@ -138,6 +138,7 @@ class EntropyPool {
   /// single-consumer, so the pool serializes poppers per shard here
   /// instead of inside the ring. Lock order: data_mu_ before any stripe,
   /// never the reverse; at most one stripe held at a time.
+  // trng-analyzer: lock-order(data_mu_, stripe_mu_)
   std::vector<std::unique_ptr<std::mutex>> stripe_mu_;
 
   /// Round-robin fairness hint only: which ring a draw sweeps first.

@@ -65,7 +65,7 @@ class QuarantinePolicy {
   /// Feeds the health outcome of one screened block and advances the state
   /// machine. Deterministic: the same alarm sequence always produces the
   /// same decisions and transitions.
-  BlockDecision on_block(std::uint64_t alarms);
+  [[nodiscard]] BlockDecision on_block(std::uint64_t alarms);
 
   AdmitState state() const { return state_; }
 

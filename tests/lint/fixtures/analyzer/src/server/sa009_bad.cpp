@@ -1,0 +1,45 @@
+// SA009 bad fixture: three SP 800-90A DRBG lifecycle violations —
+// generate through a never-instantiated local, a generate status
+// discarded as a bare statement, and a second generate while the
+// previous status variable is still unchecked.
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace fixture {
+
+enum class DrbgStatus { kOk, kReseedRequired };
+
+struct HashDrbg {
+  explicit HashDrbg(std::uint64_t seed);
+  DrbgStatus generate(std::uint64_t* out, std::size_t nbits);
+  DrbgStatus reseed(const std::uint64_t* seed, std::size_t nwords);
+};
+
+struct Outlet {
+  std::unique_ptr<HashDrbg> drbg_;
+  std::uint64_t block_[8];
+
+  // BAD: the local is still null when generate runs.
+  DrbgStatus early_draw(std::uint64_t* out, std::size_t nbits) {
+    std::unique_ptr<HashDrbg> drbg;
+    auto st = drbg->generate(out, nbits);
+    return st;
+  }
+
+  // BAD: the status — kReseedRequired included — is thrown away.
+  void emit_block() {
+    drbg_->generate(block_, 512);
+  }
+
+  // BAD: st is never consulted before the next draw, so a
+  // kReseedRequired from the first generate is silently dropped.
+  DrbgStatus double_draw(std::uint64_t* a, std::uint64_t* b,
+                         std::size_t nbits) {
+    auto st = drbg_->generate(a, nbits);
+    auto st2 = drbg_->generate(b, nbits);
+    return st2;
+  }
+};
+
+}  // namespace fixture

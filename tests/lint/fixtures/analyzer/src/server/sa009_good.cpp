@@ -1,0 +1,51 @@
+// SA009 good fixture: the DRBG lifecycle followed to the letter — the
+// seeding gate's failure returns before any draw, the local is
+// instantiated before use, every generate status is consumed, and a
+// kReseedRequired reseeds before the retry.
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace fixture {
+
+enum class DrbgStatus { kOk, kReseedRequired };
+
+struct HashDrbg {
+  explicit HashDrbg(std::uint64_t seed);
+  DrbgStatus generate(std::uint64_t* out, std::size_t nbits);
+  DrbgStatus reseed(const std::uint64_t* seed, std::size_t nwords);
+};
+
+bool fill_seed(std::uint64_t* seed, std::size_t nwords);
+
+struct Redraw {
+  std::unique_ptr<HashDrbg> drbg_;
+  std::uint64_t seed_[4];
+
+  // Gate failure is consumed and stops the flow before any draw; the
+  // local is assigned before its first use.
+  bool start(std::uint64_t* out, std::size_t nbits) {
+    std::unique_ptr<HashDrbg> drbg;
+    if (!fill_seed(seed_, 4)) {
+      return false;
+    }
+    drbg = std::make_unique<HashDrbg>(seed_[0]);
+    return drbg->generate(out, nbits) == DrbgStatus::kOk;
+  }
+
+  // The status gates the retry, and the reseed sits between the two
+  // generates — the SP 800-90A reseed-then-regenerate path.
+  DrbgStatus draw_checked(std::uint64_t* out, std::size_t nbits) {
+    auto st = drbg_->generate(out, nbits);
+    if (st == DrbgStatus::kReseedRequired) {
+      st = drbg_->reseed(seed_, 4);
+      if (st != DrbgStatus::kOk) {
+        return st;
+      }
+      st = drbg_->generate(out, nbits);
+    }
+    return st;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// SA008 bad fixture: two paths acquire the same pair of mutexes in
+// opposite orders — the classic AB/BA deadlock — and the reversed path
+// also contradicts the declared lock-order contract. Both observed
+// edges sit in the cycle, so the rule fires once per acquisition site.
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+struct Depot {
+  // trng-analyzer: lock-order(front_mu_, back_mu_)
+  std::mutex front_mu_;
+  std::mutex back_mu_;
+
+  void forward() {
+    std::lock_guard<std::mutex> f(front_mu_);
+    std::lock_guard<std::mutex> b(back_mu_);
+  }
+
+  void backward() {
+    std::lock_guard<std::mutex> b(back_mu_);
+    std::lock_guard<std::mutex> f(front_mu_);
+  }
+};
+
+}  // namespace fixture

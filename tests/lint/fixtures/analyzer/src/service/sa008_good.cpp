@@ -1,0 +1,35 @@
+// SA008 good fixture: every path acquires the two mutexes in the same
+// order, and the order is pinned by a declared lock-order contract so a
+// future reversed path closes a cycle against the declaration.
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+struct Vault {
+  // trng-analyzer: lock-order(alpha_mu_, beta_mu_)
+  std::mutex alpha_mu_;
+  std::mutex beta_mu_;
+
+  void deposit() {
+    std::lock_guard<std::mutex> a(alpha_mu_);
+    std::lock_guard<std::mutex> b(beta_mu_);
+  }
+
+  void audit() {
+    std::lock_guard<std::mutex> a(alpha_mu_);
+    std::lock_guard<std::mutex> b(beta_mu_);
+  }
+
+  // A try-lock acquisition is never an edge destination: a failed try
+  // returns instead of blocking, so beta-then-try-alpha cannot deadlock
+  // against the declared alpha-then-beta order.
+  bool peek() {
+    std::lock_guard<std::mutex> b(beta_mu_);
+    std::unique_lock<std::mutex> a(alpha_mu_, std::try_to_lock);
+    return a.owns_lock();
+  }
+};
+
+}  // namespace fixture

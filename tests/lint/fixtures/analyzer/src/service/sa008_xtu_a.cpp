@@ -1,0 +1,21 @@
+// SA008 cross-TU fixture, side A: acquires Pair::left_mu_ then
+// Pair::right_mu_. Harmless alone — the cycle only closes against the
+// reversed order in sa008_xtu_b.cpp, which the analyzer sees because
+// the lock graph is built repo-wide over every parsed TU.
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+struct Pair {
+  std::mutex left_mu_;
+  std::mutex right_mu_;
+
+  void shift_left() {
+    std::lock_guard<std::mutex> l(left_mu_);
+    std::lock_guard<std::mutex> r(right_mu_);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// SA008 cross-TU fixture, side B: acquires Pair::right_mu_ then
+// Pair::left_mu_ — the reverse of sa008_xtu_a.cpp. Neither TU has a
+// cycle on its own; the deadlock only exists repo-wide, and the rule
+// reports the participating acquisition site in each TU.
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace fixture {
+
+struct Pair {
+  std::mutex left_mu_;
+  std::mutex right_mu_;
+
+  void shift_right() {
+    std::lock_guard<std::mutex> r(right_mu_);
+    std::lock_guard<std::mutex> l(left_mu_);
+  }
+};
+
+}  // namespace fixture

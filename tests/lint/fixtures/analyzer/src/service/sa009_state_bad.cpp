@@ -1,0 +1,57 @@
+// SA009 bad fixture: an undeclared quarantine transition inside the
+// state switch, a naked non-reset assignment outside it, and one
+// function straddling both sides of the SPSC ring split.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+enum class AdmitState { kHealthy, kQuarantined, kProbation };
+
+struct Admission {
+  AdmitState state_ = AdmitState::kHealthy;
+
+  void on_result(bool pass) {
+    switch (state_) {
+      case AdmitState::kHealthy:
+        if (!pass) {
+          state_ = AdmitState::kQuarantined;
+        }
+        break;
+      case AdmitState::kQuarantined:
+        if (pass) {
+          // BAD: recovery must pass through probation first.
+          state_ = AdmitState::kHealthy;
+        }
+        break;
+      case AdmitState::kProbation:
+        if (pass) {
+          state_ = AdmitState::kHealthy;
+        } else {
+          state_ = AdmitState::kQuarantined;
+        }
+        break;
+    }
+  }
+
+  // BAD: only a reset to the start state may bypass the switch; a
+  // jump straight into probation skips the declared table.
+  void skip_ahead() {
+    state_ = AdmitState::kProbation;
+  }
+};
+
+struct Ring {
+  std::size_t push(const std::uint64_t* words, std::size_t n);
+  std::size_t pop_some(std::uint64_t* out, std::size_t max_words);
+};
+
+// BAD: one function reaching both ring sides breaks the
+// single-producer/single-consumer confinement.
+std::size_t rebalance(Ring& ring, std::uint64_t* scratch,
+                      std::size_t n) {
+  std::size_t got = ring.pop_some(scratch, n);
+  return ring.push(scratch, got);
+}
+
+}  // namespace fixture

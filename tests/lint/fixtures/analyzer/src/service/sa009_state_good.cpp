@@ -1,0 +1,56 @@
+// SA009 good fixture: every quarantine assignment follows a declared
+// transition (or is the permitted outside-switch reset to the start
+// state), and the ring's producer and consumer sides live in separate
+// functions.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+enum class AdmitState { kHealthy, kQuarantined, kProbation };
+
+struct Admission {
+  AdmitState state_ = AdmitState::kHealthy;
+
+  void on_result(bool pass) {
+    switch (state_) {
+      case AdmitState::kHealthy:
+        if (!pass) {
+          state_ = AdmitState::kQuarantined;
+        }
+        break;
+      case AdmitState::kQuarantined:
+        if (pass) {
+          state_ = AdmitState::kProbation;
+        }
+        break;
+      case AdmitState::kProbation:
+        if (pass) {
+          state_ = AdmitState::kHealthy;
+        } else {
+          state_ = AdmitState::kQuarantined;
+        }
+        break;
+    }
+  }
+
+  // A reset to the start state is the one sanctioned bypass.
+  void reset() {
+    state_ = AdmitState::kHealthy;
+  }
+};
+
+struct Ring {
+  std::size_t push(const std::uint64_t* words, std::size_t n);
+  std::size_t pop_some(std::uint64_t* out, std::size_t max_words);
+};
+
+std::size_t feed(Ring& ring, const std::uint64_t* words, std::size_t n) {
+  return ring.push(words, n);
+}
+
+std::size_t drain(Ring& ring, std::uint64_t* out, std::size_t n) {
+  return ring.pop_some(out, n);
+}
+
+}  // namespace fixture

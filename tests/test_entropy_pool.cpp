@@ -415,21 +415,24 @@ TEST(ServiceQuarantine, RetripDuringProbationRestartsQuarantine) {
   cfg.cooldown_blocks = 1;
   cfg.probation_blocks = 3;
   service::QuarantinePolicy policy{cfg};
-  policy.on_block(1);                  // -> quarantined
-  policy.on_block(0);                  // cooldown done -> probation
+  EXPECT_EQ(policy.on_block(1),        // -> quarantined
+            service::BlockDecision::kDiscardAndReseed);
+  EXPECT_EQ(policy.on_block(0),        // cooldown done -> probation
+            service::BlockDecision::kDiscard);
   EXPECT_EQ(policy.state(), service::AdmitState::kProbation);
-  policy.on_block(0);                  // 1 clean probation block
+  EXPECT_EQ(policy.on_block(0),        // 1 clean probation block
+            service::BlockDecision::kDiscard);
   EXPECT_EQ(policy.on_block(2), service::BlockDecision::kDiscardAndReseed);
   EXPECT_EQ(policy.state(), service::AdmitState::kQuarantined);
   EXPECT_EQ(policy.trips(), 2u);
   EXPECT_EQ(policy.readmissions(), 0u);
   // Probation's clean-block counter restarted: 1 cooldown + 3 clean blocks
   // to get back out.
-  policy.on_block(0);
-  policy.on_block(0);
-  policy.on_block(0);
+  EXPECT_EQ(policy.on_block(0), service::BlockDecision::kDiscard);
+  EXPECT_EQ(policy.on_block(0), service::BlockDecision::kDiscard);
+  EXPECT_EQ(policy.on_block(0), service::BlockDecision::kDiscard);
   EXPECT_EQ(policy.state(), service::AdmitState::kProbation);
-  policy.on_block(0);
+  EXPECT_EQ(policy.on_block(0), service::BlockDecision::kDiscard);
   EXPECT_EQ(policy.state(), service::AdmitState::kHealthy);
   EXPECT_EQ(policy.readmissions(), 1u);
 }
@@ -439,7 +442,7 @@ TEST(ServiceQuarantine, ZeroCooldownGoesStraightToProbation) {
   cfg.cooldown_blocks = 0;
   cfg.probation_blocks = 1;
   service::QuarantinePolicy policy{cfg};
-  policy.on_block(1);
+  EXPECT_EQ(policy.on_block(1), service::BlockDecision::kDiscardAndReseed);
   EXPECT_EQ(policy.state(), service::AdmitState::kQuarantined);
   EXPECT_EQ(policy.on_block(0), service::BlockDecision::kDiscard);
   EXPECT_EQ(policy.state(), service::AdmitState::kProbation);

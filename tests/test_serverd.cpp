@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -444,6 +445,70 @@ TEST(ServerDaemonTest, StopDrainsIdleSessionsAndRefusesNewClients) {
   EXPECT_EQ(daemon.metrics().sessions_closed.load(),
             daemon.metrics().sessions_opened.load());
   daemon.stop();  // idempotent
+}
+
+// Regression: a metrics scraper hammering its own session must stay
+// well-formed while other clients draw and the daemon stops mid-flight.
+// The scrape path walks every shard's counters while stop() drains the
+// pool and joins sessions — exactly the interleaving the lock-order
+// contract (Shard::mu before the pool's locks, scrape lock-free) has to
+// keep deadlock- and crash-free. Scrapes before stop() must parse as
+// the metrics schema; after stop() the scraper may only see a clean
+// transport failure (empty string), never a torn frame.
+TEST(ServerDaemonTest, MetricsScrapeWhileDrainingStaysWellFormed) {
+  // A scrape racing stop() may write into a drained session's socket;
+  // that must surface as EPIPE (clean empty scrape), not kill the test.
+  std::signal(SIGPIPE, SIG_IGN);
+  ServerDaemon daemon(registry_factory("str-virtex", 410), base_config(2));
+  daemon.start();
+
+  const int draw_fd = daemon.connect_client();
+  const int scrape_fd = daemon.connect_client();
+  ASSERT_GE(draw_fd, 0);
+  ASSERT_GE(scrape_fd, 0);
+
+  std::atomic<bool> stop_scraping{false};
+  std::atomic<int> good_scrapes{0};
+  std::atomic<int> torn_scrapes{0};
+  std::thread scraper([&] {
+    while (!stop_scraping.load(std::memory_order_acquire)) {
+      const std::string json = server::client::fetch_metrics(scrape_fd);
+      if (json.empty()) {
+        // Clean transport failure: only legal once the daemon drains.
+        continue;
+      }
+      if (json.front() != '{' || json.back() != '}' ||
+          json.find("\"shards\"") == std::string::npos) {
+        torn_scrapes.fetch_add(1);
+      } else {
+        good_scrapes.fetch_add(1);
+      }
+    }
+  });
+
+  std::thread drawer([&] {
+    for (int i = 0; i < 64; ++i) {
+      auto reply = server::client::draw(draw_fd, 512);
+      if (!reply.ok || reply.status != Status::kOk) break;
+    }
+  });
+
+  // Let the scraper observe live traffic, then drain under it.
+  while (good_scrapes.load() < 8) {
+    std::this_thread::yield();
+  }
+  drawer.join();
+  daemon.stop();  // joins sessions while the scraper is mid-request
+
+  stop_scraping.store(true, std::memory_order_release);
+  scraper.join();
+  ::close(draw_fd);
+  ::close(scrape_fd);
+
+  EXPECT_EQ(torn_scrapes.load(), 0);
+  EXPECT_GE(good_scrapes.load(), 8);
+  EXPECT_EQ(daemon.metrics().sessions_closed.load(),
+            daemon.metrics().sessions_opened.load());
 }
 
 // A session constructed while the daemon drains answers draw requests

@@ -131,20 +131,27 @@ def analyze_file(path: pathlib.Path, rel: pathlib.PurePosixPath,
     return rules.check_tu(tu, raw_lines, repo)
 
 
-def print_summary(findings: list[rules.Finding], nfiles: int) -> None:
+def print_summary(findings: list[rules.Finding], nfiles: int,
+                  timings: dict[str, float] | None = None,
+                  rule_ids: set[str] | None = None) -> None:
     by_rule: collections.Counter[str] = collections.Counter()
     suppressed: collections.Counter[str] = collections.Counter()
     for f in findings:
         (suppressed if f.suppressed else by_rule)[f.rule] += 1
+    timings = timings or {}
     print(f"trng_analyzer: {nfiles} files", file=sys.stderr)
-    print("  rule    findings  suppressed", file=sys.stderr)
+    print("  rule    findings  suppressed        ms", file=sys.stderr)
     for rule in rules.RULES:
         rid = rule.rule_id
+        if rule_ids is not None and rid not in rule_ids:
+            continue
         print(f"  {rid}  {by_rule.get(rid, 0):8d}  "
-              f"{suppressed.get(rid, 0):10d}", file=sys.stderr)
+              f"{suppressed.get(rid, 0):10d}  "
+              f"{timings.get(rid, 0.0) * 1000:8.1f}", file=sys.stderr)
     if by_rule.get("SA000") or suppressed.get("SA000"):
         print(f"  SA000  {by_rule.get('SA000', 0):8d}  "
-              f"{suppressed.get('SA000', 0):10d}", file=sys.stderr)
+              f"{suppressed.get('SA000', 0):10d}  {0.0:8.1f}",
+              file=sys.stderr)
 
 
 def main(argv: list[str]) -> int:
@@ -166,6 +173,15 @@ def main(argv: list[str]) -> int:
                              "repo-relative prefix (repeatable, e.g. "
                              "--only src/sim); every TU is still parsed "
                              "so cross-TU annotations keep working")
+    parser.add_argument("--rules", default=None, metavar="IDS",
+                        help="comma-separated rule subset to run, e.g. "
+                             "--rules SA008,SA009 (complements --only's "
+                             "path scoping; default: all rules)")
+    parser.add_argument("--dot", type=pathlib.Path, default=None,
+                        metavar="PATH",
+                        help="write the repo-wide lock acquisition-order "
+                             "graph (SA008's input) as Graphviz DOT; "
+                             "declared lock-order edges are dashed")
     parser.add_argument("--json", action="store_true",
                         help="emit findings as a JSON array on stdout "
                              "(suppressed findings included, flagged)")
@@ -179,6 +195,17 @@ def main(argv: list[str]) -> int:
         for rule in rules.RULES:
             print(f"{rule.rule_id} {rule.name}: {rule.doc}")
         return 0
+
+    rule_ids: set[str] | None = None
+    if args.rules is not None:
+        rule_ids = {r.strip() for r in args.rules.split(",") if r.strip()}
+        known = {rule.rule_id for rule in rules.RULES}
+        unknown = rule_ids - known
+        if unknown:
+            print(f"trng_analyzer: unknown rule id(s): "
+                  f"{', '.join(sorted(unknown))}; known: "
+                  f"{', '.join(sorted(known))}", file=sys.stderr)
+            return 2
 
     if args.frontend == "clang" and not frontend_clang.available():
         print("trng_analyzer: clang python bindings not available; "
@@ -206,10 +233,16 @@ def main(argv: list[str]) -> int:
     scoped = [tu for tu in tus
               if args.only is None or rel_matches(tu.rel, args.only)]
     findings: list[rules.Finding] = []
+    timings: dict[str, float] = {}
     for tu in scoped:
         raw_lines = tu.path.read_text(
             encoding="utf-8", errors="replace").splitlines()
-        findings.extend(rules.check_tu(tu, raw_lines, repo))
+        findings.extend(rules.check_tu(tu, raw_lines, repo,
+                                       rule_ids=rule_ids,
+                                       timings=timings))
+
+    if args.dot is not None:
+        args.dot.write_text(repo.model().to_dot(), encoding="utf-8")
 
     unsuppressed = [f for f in findings if not f.suppressed]
     if args.json:
@@ -218,7 +251,7 @@ def main(argv: list[str]) -> int:
         for f in unsuppressed:
             print(f.render(root))
     if not args.quiet:
-        print_summary(findings, len(scoped))
+        print_summary(findings, len(scoped), timings, rule_ids)
     return 1 if unsuppressed else 0
 
 

@@ -25,6 +25,13 @@ frontends so they can never disagree about declared intent):
         On a std::atomic declaration line (or the line directly above):
         declares the member's protocol role, one of counter, gauge,
         flag, index-producer, index-consumer (SA006).
+
+    // trng-analyzer: lock-order(<first>, <second>)
+        Declares the intended repo-wide acquisition order: <first> may
+        be held while acquiring <second>, never the reverse. The
+        interprocedural pass (SA008) adds the declared edge to the lock
+        graph, so an observed reverse acquisition closes a cycle and
+        fires even when no code path currently takes both orders.
 """
 
 from __future__ import annotations
@@ -72,6 +79,10 @@ class Call:
     line: int
     offset: int          # character offset into the stripped text
     args: tuple[str, ...]
+    callee_qual: str | None = None
+    # ^ resolved `Class::name` of the callee when the frontend can name
+    #   it semantically (libclang via cursor.referenced); None means the
+    #   interprocedural pass falls back to name heuristics (lite).
 
 
 @dataclasses.dataclass(frozen=True)
@@ -140,6 +151,43 @@ class GuardAnnot:
     line: int
 
 
+@dataclasses.dataclass(frozen=True)
+class LockOrderAnnot:
+    """A `// trng-analyzer: lock-order(first, second)` declaration of
+    intended acquisition order (SA008)."""
+    first: str
+    second: str
+    line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassSpan:
+    """A class/struct definition span (1-based lines, inclusive)."""
+    name: str
+    start_line: int
+    end_line: int
+
+
+@dataclasses.dataclass(frozen=True)
+class FuncDef:
+    """A function *definition* span (1-based body lines, inclusive).
+
+    `qual` is `Class::name` for methods (the innermost owning class for
+    in-class definitions, the `X::` qualifier for out-of-class ones —
+    namespaces are deliberately excluded so both frontends produce the
+    same spelling), the bare name for free functions, and a synthetic
+    `<lambda...>` for lambdas. `kind` is "fn", "lambda" or "anon";
+    anonymous spans exist so facts inside them detach from the enclosing
+    function (a deferred callback does not run under the caller's
+    locks), but they are never call-resolution targets."""
+    name: str | None
+    cls: str | None
+    qual: str
+    kind: str            # "fn" | "lambda" | "anon"
+    start_line: int      # line of the body's `{`
+    end_line: int        # line of the matching `}`
+
+
 @dataclasses.dataclass
 class TUFacts:
     path: pathlib.Path
@@ -155,6 +203,10 @@ class TUFacts:
     atomic_ops: list[AtomicOp] = dataclasses.field(default_factory=list)
     atomic_decls: list[AtomicDecl] = dataclasses.field(default_factory=list)
     guard_annots: list[GuardAnnot] = dataclasses.field(default_factory=list)
+    lock_order_annots: list[LockOrderAnnot] = dataclasses.field(
+        default_factory=list)
+    classes: list[ClassSpan] = dataclasses.field(default_factory=list)
+    funcs: list[FuncDef] = dataclasses.field(default_factory=list)
     frontend: str = "lite"   # which frontend produced these facts
 
     def decl_types(self) -> dict[str, str]:
@@ -243,6 +295,9 @@ GUARDS_ANNOT_RE = re.compile(
 ATOMIC_ANNOT_RE = re.compile(
     r"//\s*trng-analyzer:\s*atomic\(\s*([\w\-]+)\s*\)")
 
+LOCK_ORDER_ANNOT_RE = re.compile(
+    r"//\s*trng-analyzer:\s*lock-order\(\s*([\w.:]+)\s*,\s*([\w.:]+)\s*\)")
+
 # Matches the declaration of an atomic object: `std::atomic<T> name...`
 # including brace-init members and arrays-behind-unique_ptr
 # (`std::unique_ptr<std::atomic<u64>[]> counts_;`); the trailing
@@ -315,6 +370,10 @@ def scan_annotations(tu: TUFacts, raw: str) -> None:
         if gm:
             tu.guard_annots.append(GuardAnnot(
                 field=gm.group(1), mutex=gm.group(2), line=i))
+        lm = LOCK_ORDER_ANNOT_RE.search(text)
+        if lm:
+            tu.lock_order_annots.append(LockOrderAnnot(
+                first=lm.group(1), second=lm.group(2), line=i))
         am = ATOMIC_ANNOT_RE.search(text)
         if am:
             role_at[i] = am.group(1)
@@ -347,3 +406,172 @@ def derive_atomic_ops(tu: TUFacts) -> None:
         tu.atomic_ops.append(AtomicOp(
             member=member, op=call.callee, kind=kind,
             order=order, fail_order=fail_order, line=call.line))
+
+
+# --------------------------------------------- shared structure scanner
+#
+# Class spans and function-definition spans are likewise text-shaped:
+# both frontends call scan_structure verbatim so the interprocedural
+# pass (call graph, lock graph, typestate spans) sees the same function
+# inventory regardless of frontend. The libclang frontend still adds
+# semantic callee resolution on top (Call.callee_qual); the spans
+# themselves are deliberately derived from one algorithm.
+
+_CLASS_HEAD_RE = re.compile(
+    r"(?<!enum\s)\b(?:class|struct)\s+([A-Za-z_]\w*)"
+    r"(?:\s+final)?\s*(?::[^;{]*)?\{")
+
+# `...) [qualifiers] {` — a function-definition head. `mutable` is
+# included (lambdas); init-lists are not, so a constructor's span is
+# found at its last init-list call head instead — those get an "anon"
+# span (trailing-underscore pseudo-name), which detaches their contents
+# without polluting call resolution.
+_STRUCT_FUNC_HEAD_RE = re.compile(
+    r"\)\s*(?:const\s*|noexcept(?:\s*\([^()]*\))?\s*|override\s*|final\s*"
+    r"|mutable\s*|->\s*[\w:<>,&*\s]+?)*\{")
+
+# A capture-list directly followed by `{`: the paren-less lambda form
+# (`[this] { ... }`). Paren-full lambdas are found by the head regex.
+_BARE_LAMBDA_RE = re.compile(r"\[[^\[\]\n]*\]\s*\{")
+
+_STRUCT_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "do", "else",
+    "sizeof", "new", "delete", "throw", "case", "default",
+}
+
+
+def match_brace(text: str, open_off: int) -> int:
+    """Offset of the `}` matching the `{` at open_off (len(text) if
+    unbalanced)."""
+    depth = 0
+    for i in range(open_off, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text)
+
+
+def _match_back(text: str, close_off: int, close: str, open_: str) -> int:
+    """Offset of the opener matching the closer at close_off (-1 if
+    unbalanced)."""
+    depth = 0
+    for i in range(close_off, -1, -1):
+        c = text[i]
+        if c == close:
+            depth += 1
+        elif c == open_:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _ident_before(text: str, off: int) -> tuple[str, int]:
+    """(identifier, start_offset) of the identifier ending just before
+    off, skipping trailing whitespace; ("", off) when there is none."""
+    k = off - 1
+    while k >= 0 and text[k].isspace():
+        k -= 1
+    end = k + 1
+    while k >= 0 and (text[k].isalnum() or text[k] in "_~"):
+        k -= 1
+    return text[k + 1:end], k + 1
+
+
+def scan_structure(tu: TUFacts) -> None:
+    """Fills tu.classes and tu.funcs from the stripped text."""
+    text = tu.stripped
+
+    class_spans = []     # (start_off, end_off, name)
+    for m in _CLASS_HEAD_RE.finditer(text):
+        open_off = m.end() - 1
+        close_off = match_brace(text, open_off)
+        class_spans.append((m.start(), close_off, m.group(1)))
+        tu.classes.append(ClassSpan(
+            name=m.group(1),
+            start_line=line_of(text, m.start()),
+            end_line=line_of(text, close_off)))
+
+    def innermost_class(off: int) -> str | None:
+        best = None
+        for a, b, name in class_spans:
+            if a < off <= b and (best is None or (b - a) < best[0]):
+                best = (b - a, name)
+        return best[1] if best else None
+
+    seen_bodies = set()
+    for m in _STRUCT_FUNC_HEAD_RE.finditer(text):
+        open_off = m.end() - 1
+        close_off = match_brace(text, open_off)
+        paren_open = _match_back(text, m.start(), ")", "(")
+        if paren_open < 0:
+            continue
+        name, name_off = _ident_before(text, paren_open)
+        start_line = line_of(text, open_off)
+        end_line = line_of(text, close_off)
+        if not name:
+            # `](...)` before the paren list: a lambda. Named when bound
+            # to a variable (`auto pop = [&]() {`), anonymous otherwise.
+            k = paren_open - 1
+            while k >= 0 and text[k].isspace():
+                k -= 1
+            if k < 0 or text[k] != "]":
+                continue
+            bracket_open = _match_back(text, k, "]", "[")
+            lam_name = None
+            if bracket_open > 0:
+                head = text[max(0, bracket_open - 80):bracket_open]
+                nm = re.search(r"([A-Za-z_]\w*)\s*=\s*$", head)
+                if nm:
+                    lam_name = nm.group(1)
+            qual = lam_name or f"<lambda:{start_line}>"
+            tu.funcs.append(FuncDef(
+                name=lam_name, cls=None, qual=qual, kind="lambda",
+                start_line=start_line, end_line=end_line))
+            seen_bodies.add(open_off)
+            continue
+        if name in _STRUCT_KEYWORDS or not re.match(r"[A-Za-z_~]", name):
+            continue
+        if name.endswith("_"):
+            # Constructor init-list tail (`: a_(x), metrics_(y) {`):
+            # record an anonymous span so the ctor body's facts don't
+            # leak into the enclosing scope, but never resolve calls
+            # to a member-shaped pseudo-name.
+            tu.funcs.append(FuncDef(
+                name=None, cls=None, qual=f"<anon:{start_line}>",
+                kind="anon", start_line=start_line, end_line=end_line))
+            seen_bodies.add(open_off)
+            continue
+        # Optional `Class::` qualifier before the name.
+        cls = None
+        k = name_off - 1
+        while k >= 0 and text[k].isspace():
+            k -= 1
+        if k >= 1 and text[k] == ":" and text[k - 1] == ":":
+            q, _ = _ident_before(text, k - 1)
+            # CamelCase = class; lowercase qualifiers are namespaces,
+            # which the clang frontend also skips.
+            if q and q[0].isupper():
+                cls = q
+        if cls is None:
+            cls = innermost_class(name_off)
+        qual = f"{cls}::{name}" if cls else name
+        tu.funcs.append(FuncDef(
+            name=name, cls=cls, qual=qual, kind="fn",
+            start_line=start_line, end_line=end_line))
+        seen_bodies.add(open_off)
+
+    for m in _BARE_LAMBDA_RE.finditer(text):
+        open_off = m.end() - 1
+        if open_off in seen_bodies:
+            continue
+        close_off = match_brace(text, open_off)
+        start_line = line_of(text, open_off)
+        tu.funcs.append(FuncDef(
+            name=None, cls=None, qual=f"<lambda:{start_line}>",
+            kind="lambda", start_line=start_line,
+            end_line=line_of(text, close_off)))

@@ -176,10 +176,42 @@ def parse(path: pathlib.Path, rel: pathlib.PurePosixPath,
                 if mkids:
                     recv = _text_of(mkids[0])
                     recv_type = mkids[0].type.spelling
+            # Semantic callee: `Class::name` (classes only — namespaces
+            # are skipped so the spelling matches the shared structure
+            # scanner's FuncDef.qual) for the interprocedural pass.
+            callee_qual = None
+            try:
+                ref = cursor.referenced
+            except Exception:
+                ref = None
+            if ref is not None and ref.kind in (
+                    ck.CXX_METHOD, ck.FUNCTION_DECL, ck.CONSTRUCTOR,
+                    ck.DESTRUCTOR, ck.FUNCTION_TEMPLATE):
+                rname = ref.spelling or ""
+                if rname == "operator()":
+                    # A call through a named lambda object (`pop()`):
+                    # surface the variable name instead so the
+                    # heuristic resolver can bind it TU-locally.
+                    if children and children[0].kind == ck.DECL_REF_EXPR:
+                        callee = children[0].spelling or callee
+                elif rname:
+                    rcls = None
+                    node = ref.semantic_parent
+                    while node is not None:
+                        if node.kind in (ck.CLASS_DECL, ck.STRUCT_DECL,
+                                         ck.CLASS_TEMPLATE):
+                            rcls = node.spelling
+                            break
+                        if node.kind in (ck.NAMESPACE,
+                                         ck.TRANSLATION_UNIT):
+                            break
+                        node = node.semantic_parent
+                    callee_qual = f"{rcls}::{rname}" if rcls else rname
             args = _first_arg_texts(cursor)
             line = cursor.location.line
             tu_facts.calls.append(facts.Call(
-                callee=callee, recv=recv, line=line, offset=0, args=args))
+                callee=callee, recv=recv, line=line, offset=0, args=args,
+                callee_qual=callee_qual))
             if callee in ("wait", "wait_for", "wait_until") and \
                     "condition_variable" in recv_type:
                 # Find the nearest statement-shaped ancestor for loop
@@ -239,5 +271,6 @@ def parse(path: pathlib.Path, rel: pathlib.PurePosixPath,
 
     walk(unit.cursor, [])
     facts.scan_annotations(tu_facts, raw)
+    facts.scan_structure(tu_facts)
     facts.derive_atomic_ops(tu_facts)
     return tu_facts

@@ -46,6 +46,14 @@ _DECL_RE = re.compile(
     r"condition_variable(?:_any)?|mutex|auto))\b"
     r"\s*[*&]?\s+(\w+)\s*(?=[=;,()\[{])")
 
+# Class-typed reference/pointer declarations (`Shard& s = ...;`,
+# `WordRing& ring`): CamelCase head, so plain multiplications and
+# builtin decls (handled above) don't match. Feeds receiver-type
+# resolution in the interprocedural pass.
+_CLASS_DECL_RE = re.compile(
+    r"(?<![\w:.<,])((?:[A-Z]\w*\s*::\s*)*[A-Z]\w*)\s*[&*]\s*(\w+)\s*"
+    r"(?=[=;,()\[{])")
+
 # Trailing-underscore identifiers (the repo's member naming convention)
 # not reached through `.`/`->`/`::` — i.e. implicit-this accesses. The
 # `this->` spelling is matched separately since the generic pattern
@@ -258,6 +266,16 @@ def parse(path: pathlib.Path, rel: pathlib.PurePosixPath,
             tu.assigns.append(facts.Assign(
                 name, "=", init.group(1).strip(), line, fs, fe))
 
+    for m in _CLASS_DECL_RE.finditer(stripped):
+        type_text, name = m.group(1), m.group(2)
+        if name in _KEYWORDS or type_text in _KEYWORDS:
+            continue
+        fs, fe = _enclosing_function(func_spans, stripped, m.start())
+        tu.decls.append(facts.VarDecl(
+            name=name, type_text=re.sub(r"\s+", "", type_text),
+            line=facts.line_of(stripped, m.start()),
+            func_start_line=fs, func_end_line=fe))
+
     for m in _GUARD_RE.finditer(stripped):
         kind, var = m.group(1), m.group(2)
         ctor_open = m.end() - 1
@@ -327,5 +345,6 @@ def parse(path: pathlib.Path, rel: pathlib.PurePosixPath,
                 name=m.group(1), line=facts.line_of(stripped, off)))
 
     facts.scan_annotations(tu, raw)
+    facts.scan_structure(tu)
     facts.derive_atomic_ops(tu)
     return tu

@@ -77,6 +77,7 @@ from __future__ import annotations
 import dataclasses
 import pathlib
 import re
+import time
 
 from . import facts
 
@@ -128,8 +129,21 @@ class RepoContext:
     guards: dict[str, set[str]] = dataclasses.field(default_factory=dict)
     roles: dict[str, str | None] = dataclasses.field(default_factory=dict)
     atomics: set[str] = dataclasses.field(default_factory=set)
+    tus: list[facts.TUFacts] = dataclasses.field(default_factory=list)
+    _model: object = dataclasses.field(default=None, repr=False)
+
+    def model(self):
+        """Lazily-built interprocedural model (call graph + lock graph)
+        over every absorbed TU; shared by SA008/SA009 so the graph is
+        constructed once per run."""
+        if self._model is None:
+            from . import interproc
+            self._model = interproc.Model(self.tus)
+        return self._model
 
     def absorb(self, tu: facts.TUFacts) -> None:
+        self.tus.append(tu)
+        self._model = None
         for ga in tu.guard_annots:
             mutex = facts.tail_name(ga.mutex) or ga.mutex
             self.guards.setdefault(ga.field, set()).add(mutex)
@@ -896,6 +910,298 @@ class EntropyLeakTaint(Rule):
         return findings
 
 
+# ----------------------------------------------------------------- SA008
+
+class LockOrderConsistency(Rule):
+    rule_id = "SA008"
+    name = "lock-order"
+    doc = ("repo-wide lock acquisition order must be acyclic: nodes are "
+           "mutex members qualified by owning class, an edge A -> B "
+           "means B is acquired (lexically or through the cross-TU call "
+           "graph) while A is held, try-lock acquisitions never block "
+           "and condvar waits release; a cycle — including one closed "
+           "by a declared `// trng-analyzer: lock-order(a, b)` edge — "
+           "is a deadlock some thread interleaving can reach")
+
+    def applies_to(self, rel):
+        return _under(rel, "src/")
+
+    def check(self, tu, repo):
+        return list(repo.model().sa008_findings().get(str(tu.rel), []))
+
+
+# ----------------------------------------------------------------- SA009
+
+class TypestateProtocols(Rule):
+    rule_id = "SA009"
+    name = "typestate-protocol"
+    doc = ("stateful protocol contracts checked against a declarative "
+           "table: the SP 800-90A DRBG lifecycle (no generate before "
+           "instantiate; a generate/seeding status — kReseedRequired "
+           "included — must be consumed, and a failed seeding gate must "
+           "not fall through to generate; no second generate while the "
+           "first status is still unchecked), the quarantine admission "
+           "state machine (only declared transitions, and only inside "
+           "the state switch except a reset to the start state), and "
+           "WordRing SPSC role confinement (no function may reach both "
+           "producer-side and consumer-side ring operations, per the "
+           "SA006 index-producer/index-consumer roles)")
+
+    # --- protocol table -------------------------------------------------
+    # DRBG lifecycle (SP 800-90A): receivers are classified as DRBGs by
+    # declared type or by the `drbg` naming convention; `fill_seed` is
+    # the seeding gate whose bool failure result guards generate.
+    _DRBG_TYPES = ("HashDrbg", "HmacDrbg", "Drbg")
+    _DRBG_HINT = "drbg"
+    _GATES = ("fill_seed",)
+    # Quarantine admission state machine (mirrors QuarantinePolicy).
+    _Q_FIELD = "state_"
+    _Q_ENUM = "AdmitState"
+    _Q_START = "kHealthy"
+    _Q_TRANSITIONS = {
+        ("kHealthy", "kQuarantined"),
+        ("kQuarantined", "kProbation"),
+        ("kProbation", "kQuarantined"),
+        ("kProbation", "kHealthy"),
+    }
+    # SPSC ring role confinement: member-call spellings per side, plus
+    # the SA006 atomic index roles reached through the call graph.
+    _PRODUCER_CALLS = ("push", "try_push")
+    _CONSUMER_CALLS = ("pop_some",)
+    _RING_HINT = "ring"
+
+    _GEN_RE = re.compile(
+        r"([A-Za-z_][\w.\[\]>-]*?)\s*(?:\.|->)\s*generate\s*\(")
+    _DRBG_LOCAL_RE = re.compile(
+        r"\bunique_ptr\s*<[^;{}()]*?Drbg[^;{}()]*?>\s+(\w+)\s*;")
+
+    def applies_to(self, rel):
+        return _under(rel, "src/service/", "src/server/")
+
+    def check(self, tu, repo):
+        findings: list[tuple[int, str]] = []
+        self._check_discarded_status(tu, findings)
+        self._check_generate_before_instantiate(tu, findings)
+        self._check_unchecked_then_generate(tu, findings)
+        self._check_quarantine_transitions(tu, findings)
+        self._check_spsc_roles(tu, repo, findings)
+        findings.sort()
+        return findings
+
+    # ------------------------------------------------------------ DRBG
+
+    def _is_drbg_recv(self, recv: str, decl_types: dict[str, str]) -> bool:
+        tail = facts.tail_name(recv) or ""
+        if self._DRBG_HINT in tail.lower():
+            return True
+        base = facts.head_name(recv)
+        t = decl_types.get(base or "", "")
+        return any(d in t for d in self._DRBG_TYPES)
+
+    def _drbg_generates(self, tu):
+        """(match, line, normalized receiver) for every DRBG-classified
+        generate call in the stripped text."""
+        decl_types = tu.decl_types()
+        out = []
+        for m in self._GEN_RE.finditer(tu.stripped):
+            recv = m.group(1)
+            if not self._is_drbg_recv(recv, decl_types):
+                continue
+            out.append((m, facts.line_of(tu.stripped, m.start()),
+                        re.sub(r"\s+", "", recv)))
+        return out
+
+    def _check_discarded_status(self, tu, findings):
+        text = tu.stripped
+        sites = [(m.start(), m.group(1) + " generate", ln)
+                 for m, ln, _ in self._drbg_generates(tu)]
+        for gate in self._GATES:
+            for m in re.finditer(rf"(?<![\w.>:]){gate}\s*\(", text):
+                sites.append((m.start(), gate,
+                              facts.line_of(text, m.start())))
+        for off, what, line in sites:
+            prev = text[:off].rstrip()
+            if not prev or prev[-1] in ";{}":
+                findings.append((line, (
+                    f"DRBG status of '{what.split()[0]}' discarded as a "
+                    f"bare statement; kReseedRequired (or a failed "
+                    f"seeding gate) silently ignored breaks the "
+                    f"SP 800-90A reseed contract")))
+
+    def _check_generate_before_instantiate(self, tu, findings):
+        text = tu.stripped
+        lines = text.splitlines()
+        for m in self._DRBG_LOCAL_RE.finditer(text):
+            name = m.group(1)
+            line = facts.line_of(text, m.start())
+            span = self._innermost_fn(tu, line)
+            if span is None:
+                continue     # member declaration, not a local
+            use_re = re.compile(
+                rf"\b{re.escape(name)}\s*(?:\.|->)\s*(generate|reseed)"
+                rf"\s*\(")
+            ctor_re = re.compile(
+                rf"\b{re.escape(name)}\s*(?:=(?!=)|\.\s*reset\s*\()")
+            line_start = text.rfind("\n", 0, m.start()) + 1
+            decl_end_col = m.end() - line_start
+            for ln in range(line, min(span.end_line, len(lines)) + 1):
+                seg = lines[ln - 1]
+                if ln == line:
+                    seg = seg[decl_end_col:]
+                if ctor_re.search(seg):
+                    break
+                um = use_re.search(seg)
+                if um:
+                    findings.append((ln, (
+                        f"'{name}->{um.group(1)}' before the DRBG is "
+                        f"instantiated (local unique_ptr still null); "
+                        f"SP 800-90A requires instantiate before "
+                        f"generate/reseed")))
+                    break
+
+    def _check_unchecked_then_generate(self, tu, findings):
+        text = tu.stripped
+        per_fn: dict[tuple[int, int], list] = {}
+        for m, line, recv in self._drbg_generates(tu):
+            span = self._innermost_fn(tu, line)
+            if span is None:
+                continue
+            # `DrbgStatus st = drbg->generate(...)`: the status variable
+            # is the identifier just before a trailing `=`.
+            status = None
+            prev = text[:m.start()].rstrip()
+            if prev.endswith("=") and not prev.endswith(("==", "!=",
+                                                         "<=", ">=")):
+                svm = re.search(r"([A-Za-z_]\w*)\s*\Z", prev[:-1])
+                status = svm.group(1) if svm else None
+            per_fn.setdefault((span.start_line, span.end_line),
+                              []).append((m, line, recv, status))
+        for sites in per_fn.values():
+            sites.sort(key=lambda s: s[0].start())
+            for (m1, _l1, r1, status), (m2, l2, r2, _s2) in zip(
+                    sites, sites[1:]):
+                if r1 != r2 or status is None:
+                    continue
+                between = text[m1.end():m2.start()]
+                if re.search(rf"\b{re.escape(status)}\b", between):
+                    continue
+                if "reseed" in between:
+                    continue
+                findings.append((l2, (
+                    f"second generate on '{r2}' while status "
+                    f"'{status}' from the previous generate is still "
+                    f"unchecked; a dropped kReseedRequired would "
+                    f"generate from a stale DRBG state")))
+
+    # ------------------------------------------------- quarantine FSM
+
+    def _check_quarantine_transitions(self, tu, findings):
+        text = tu.stripped
+        switch_spans = []
+        for m in re.finditer(
+                rf"switch\s*\(\s*(?:this\s*->\s*)?{self._Q_FIELD}\s*\)"
+                rf"\s*\{{", text):
+            open_off = m.end() - 1
+            switch_spans.append((open_off, facts.match_brace(
+                text, open_off)))
+        case_re = re.compile(
+            rf"case\s+{self._Q_ENUM}\s*::\s*(k\w+)\s*:|default\s*:")
+        assign_re = re.compile(
+            rf"(?<![\w.>])(?:this\s*->\s*)?{self._Q_FIELD}\s*=(?!=)\s*"
+            rf"{self._Q_ENUM}\s*::\s*(k\w+)")
+        for m in assign_re.finditer(text):
+            to = m.group(1)
+            line = facts.line_of(text, m.start())
+            span = None
+            for a, b in switch_spans:
+                if a < m.start() <= b and (
+                        span is None or (b - a) < (span[1] - span[0])):
+                    span = (a, b)
+            if span is None:
+                if to != self._Q_START:
+                    findings.append((line, (
+                        f"quarantine state set to {to} outside the "
+                        f"`switch ({self._Q_FIELD})` transition table; "
+                        f"only a reset to {self._Q_START} may bypass "
+                        f"declared transitions")))
+                continue
+            frm = None
+            for cm in case_re.finditer(text, span[0], m.start()):
+                frm = cm.group(1) or "default"
+            if frm is None or frm == "default":
+                continue
+            if (frm, to) not in self._Q_TRANSITIONS:
+                findings.append((line, (
+                    f"undeclared quarantine transition {frm} -> {to}; "
+                    f"the admission state machine declares only "
+                    f"{sorted(self._Q_TRANSITIONS)}")))
+
+    # ----------------------------------------------- SPSC confinement
+
+    def _innermost_fn(self, tu, line):
+        best = None
+        for fd in tu.funcs:
+            if fd.start_line <= line <= fd.end_line:
+                if best is None or (fd.end_line - fd.start_line) < \
+                        (best.end_line - best.start_line):
+                    best = fd
+        return best
+
+    def _check_spsc_roles(self, tu, repo, findings):
+        model = repo.model()
+        roles = repo.roles
+        memo: dict[int, tuple[frozenset, frozenset]] = {}
+
+        def ring_recv(call) -> bool:
+            tail = facts.tail_name(call.recv or "") or ""
+            return self._RING_HINT in tail.lower()
+
+        def reach(f, stack) -> tuple[frozenset, frozenset]:
+            key = id(f)
+            if key in memo:
+                return memo[key]
+            if key in stack:
+                return frozenset(), frozenset()
+            stack.add(key)
+            prod, cons = set(), set()
+            for op in f.atomic_ops:
+                if op.kind not in ("store", "rmw"):
+                    continue
+                role = roles.get(op.member)
+                if role == "index-producer":
+                    prod.add(f"{op.member}.{op.op}")
+                elif role == "index-consumer":
+                    cons.add(f"{op.member}.{op.op}")
+            for call in f.calls:
+                if call.recv is not None and ring_recv(call):
+                    if call.callee in self._PRODUCER_CALLS:
+                        prod.add(f"{call.recv}.{call.callee}")
+                    elif call.callee in self._CONSUMER_CALLS:
+                        cons.add(f"{call.recv}.{call.callee}")
+                for t in model.resolve(call, f):
+                    tp, tc = reach(t, stack)
+                    if tp:
+                        prod.add(f"{call.callee} -> {sorted(tp)[0]}")
+                    if tc:
+                        cons.add(f"{call.callee} -> {sorted(tc)[0]}")
+            stack.discard(key)
+            memo[key] = (frozenset(prod), frozenset(cons))
+            return memo[key]
+
+        rel = str(tu.rel)
+        for f in model.funcs:
+            if f.rel != rel or f.fd.kind != "fn" or not f.fd.name:
+                continue
+            prod, cons = reach(f, set())
+            if prod and cons:
+                findings.append((f.fd.start_line, (
+                    f"'{f.qual}' reaches both producer-side "
+                    f"({sorted(prod)[0]}) and consumer-side "
+                    f"({sorted(cons)[0]}) SPSC ring operations; the "
+                    f"single-producer/single-consumer split requires "
+                    f"disjoint role sets per function")))
+
+
 RULES: list[Rule] = [
     CondvarDiscipline(),
     UnitSafety(),
@@ -904,6 +1210,8 @@ RULES: list[Rule] = [
     LocksetConsistency(),
     AtomicsDiscipline(),
     EntropyLeakTaint(),
+    LockOrderConsistency(),
+    TypestateProtocols(),
 ]
 
 
@@ -951,14 +1259,28 @@ def apply_suppressions(path: pathlib.Path, findings: list[Finding],
 
 
 def check_tu(tu: facts.TUFacts, raw_lines: list[str],
-             repo: RepoContext | None = None) -> list[Finding]:
+             repo: RepoContext | None = None,
+             rule_ids: set[str] | None = None,
+             timings: dict[str, float] | None = None) -> list[Finding]:
+    """Runs every rule (or the `rule_ids` subset) over one TU.
+
+    `timings`, when given, accumulates per-rule wall seconds across
+    calls — the driver feeds it to the stderr summary so a slow rule is
+    bisectable from CI output."""
     if repo is None:
         repo = build_repo_context([tu])
     findings: list[Finding] = []
     for rule in RULES:
+        if rule_ids is not None and rule.rule_id not in rule_ids:
+            continue
         if not rule.applies_to(tu.rel):
             continue
-        for line, message in rule.check(tu, repo):
+        t0 = time.perf_counter()
+        rule_findings = rule.check(tu, repo)
+        if timings is not None:
+            timings[rule.rule_id] = timings.get(rule.rule_id, 0.0) + \
+                (time.perf_counter() - t0)
+        for line, message in rule_findings:
             findings.append(Finding(tu.path, line, rule.rule_id,
                                     rule.name, message))
     has_markers = any(ALLOW_RE.search(line) for line in raw_lines)

@@ -51,6 +51,16 @@ EXPECTED = sorted([
     ("src/service/sa007_bad.cpp", "SA007"),   # raw word to to_string
     ("src/service/sa007_bad.cpp", "SA007"),   # raw word in an exception
     ("src/server/sa007_shard_bad.cpp", "SA007"),  # draw_from_shard arg 1
+    ("src/service/sa008_bad.cpp", "SA008"),   # front -> back acquisition
+    ("src/service/sa008_bad.cpp", "SA008"),   # reversed, contradicts decl
+    ("src/service/sa008_xtu_a.cpp", "SA008"),  # cross-TU cycle, side A
+    ("src/service/sa008_xtu_b.cpp", "SA008"),  # cross-TU cycle, side B
+    ("src/server/sa009_bad.cpp", "SA009"),    # generate before instantiate
+    ("src/server/sa009_bad.cpp", "SA009"),    # discarded generate status
+    ("src/server/sa009_bad.cpp", "SA009"),    # unchecked-then-generate
+    ("src/service/sa009_state_bad.cpp", "SA009"),  # undeclared transition
+    ("src/service/sa009_state_bad.cpp", "SA009"),  # naked non-reset assign
+    ("src/service/sa009_state_bad.cpp", "SA009"),  # SPSC role mixing
     ("src/service/suppressed_bad.cpp", "SA000"),
     ("src/service/dangling_allow.cpp", "SA000"),
 ])
@@ -66,6 +76,9 @@ MUST_BE_CLEAN = [
     "src/service/sa007_good.cpp",
     "src/service/suppressed_ok.cpp",
     "src/server/sa005_locked_good.cpp",
+    "src/service/sa008_good.cpp",
+    "src/server/sa009_good.cpp",
+    "src/service/sa009_state_good.cpp",
 ]
 
 # (file, rule) pairs that must appear as suppressed=true in --json: the
@@ -164,9 +177,69 @@ def main() -> int:
         [sys.executable, str(ANALYZE), "--list-rules"],
         capture_output=True, text=True)
     for rule_id in ("SA001", "SA002", "SA003", "SA004",
-                    "SA005", "SA006", "SA007"):
+                    "SA005", "SA006", "SA007", "SA008", "SA009"):
         if rule_id not in rules_proc.stdout:
             failures.append(f"--list-rules does not document {rule_id}")
+
+    # --rules scoping: a subset run reports only that subset's findings
+    # (and still exits 1 because the subset has unsuppressed hits).
+    subset = run_analyzer("--json", "--frontend", frontend,
+                          "--rules", "SA008,SA009")
+    try:
+        subset_report = json.loads(subset.stdout)
+    except json.JSONDecodeError:
+        subset_report = None
+        failures.append("--rules SA008,SA009 --json output is not JSON")
+    if subset_report is not None:
+        got = sorted((e["file"], e["rule"]) for e in subset_report
+                     if not e.get("suppressed")
+                     and e["rule"] in ("SA008", "SA009"))
+        want = sorted(p for p in EXPECTED if p[1] in ("SA008", "SA009"))
+        if got != want:
+            failures.append(
+                f"--rules SA008,SA009 findings mismatch: {got} != {want}")
+        stray = [e for e in subset_report
+                 if e["rule"] not in ("SA008", "SA009", "SA000")]
+        if stray:
+            failures.append(
+                f"--rules subset leaked other rules: {stray[:3]}")
+        if subset.returncode != 1:
+            failures.append(
+                f"--rules subset exit code {subset.returncode}, expected 1")
+
+    # --dot emits a structurally valid Graphviz digraph of the fixture
+    # lock graph: no graphviz dependency, just the line grammar plus one
+    # known edge (the declared Vault contract, dashed) and one cycle
+    # participant.
+    import re as _re
+    import tempfile
+    with tempfile.TemporaryDirectory() as td:
+        dot_path = pathlib.Path(td) / "lock.dot"
+        dot_proc = run_analyzer("--frontend", frontend,
+                                "--dot", str(dot_path))
+        if dot_proc.returncode not in (0, 1):
+            failures.append(
+                f"--dot run exit code {dot_proc.returncode}")
+        dot = dot_path.read_text() if dot_path.is_file() else ""
+        lines = [ln for ln in dot.splitlines() if ln.strip()]
+        node_re = _re.compile(r'^  "[^"]+";$')
+        edge_re = _re.compile(
+            r'^  "[^"]+" -> "[^"]+" \[label="[^"]*"'
+            r'(?:, style=dashed)?\];$')
+        if not lines or lines[0] != "digraph lock_order {" \
+                or lines[-1] != "}":
+            failures.append("--dot output missing digraph wrapper")
+        for ln in lines[1:-1]:
+            if not (node_re.match(ln) or edge_re.match(ln)):
+                failures.append(f"--dot line fails the grammar: {ln!r}")
+                break
+        if '"Vault::alpha_mu_" -> "Vault::beta_mu_"' not in dot:
+            failures.append("--dot missing the Vault observed edge")
+        if "style=dashed" not in dot:
+            failures.append("--dot missing a declared (dashed) edge")
+        if '"Pair::left_mu_" -> "Pair::right_mu_"' not in dot or \
+                '"Pair::right_mu_" -> "Pair::left_mu_"' not in dot:
+            failures.append("--dot missing the cross-TU cycle edges")
 
     if failures:
         print("analyzer selftest: FAIL", file=sys.stderr)
